@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment output")
+
+// The full experiment output is deterministic (fixed seeds, deterministic
+// engine), so it is pinned as a golden file: any semantic or cost change
+// to the reproduction shows up as a diff against the paper's tables.
+func TestGoldenExperimentOutput(t *testing.T) {
+	var buf bytes.Buffer
+	captureStdout(t, &buf, func() {
+		for _, e := range experiments {
+			banner(e.desc)
+			e.run()
+		}
+	})
+	golden := filepath.Join("testdata", "experiments.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated (%d bytes)", buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("experiment output drifted from golden file; run with -update and inspect the diff (got %d bytes, want %d)",
+			buf.Len(), len(want))
+		// Show the first divergence for quick triage.
+		g, w := buf.Bytes(), want
+		n := min(len(g), len(w))
+		for i := range n {
+			if g[i] != w[i] {
+				lo := max(0, i-120)
+				t.Errorf("first divergence at byte %d:\n  got:  ...%q\n  want: ...%q",
+					i, g[lo:min(len(g), i+120)], w[lo:min(len(w), i+120)])
+				break
+			}
+		}
+	}
+}
+
+// captureStdout redirects os.Stdout into buf while fn runs.
+func captureStdout(t *testing.T, buf *bytes.Buffer, fn func()) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan struct{})
+	go func() {
+		buf.ReadFrom(r)
+		close(done)
+	}()
+	fn()
+	w.Close()
+	<-done
+	os.Stdout = old
+}

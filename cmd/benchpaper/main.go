@@ -1,0 +1,88 @@
+// Command benchpaper regenerates every table and figure of "Optimization
+// of Nested SQL Queries Revisited" (Ganski & Wong, SIGMOD 1987):
+//
+//	benchpaper -exp all           # everything, in paper order
+//	benchpaper -exp figure1       # Figure 1: page I/Os in Kim's examples
+//	benchpaper -exp countbug      # section 5.1: the COUNT bug
+//	benchpaper -exp countfix      # section 5.2: the outer-join fix (TEMP tables)
+//	benchpaper -exp countstar     # section 5.2.1: COUNT(*) conversion
+//	benchpaper -exp noneq         # section 5.3: the non-equality bug and fix
+//	benchpaper -exp dups          # section 5.4: the duplicates problem and fix
+//	benchpaper -exp ja2           # section 6.1: NEST-JA2 worked example
+//	benchpaper -exp cost74        # section 7.4: cost example (3050 vs ~475)
+//	benchpaper -exp predicates    # section 8: EXISTS/ANY/ALL extensions
+//	benchpaper -exp tree          # section 9.1 / Figure 2: recursive nest_g
+//	benchpaper -exp sweep         # section 4: the 80%-95% savings claim
+//	benchpaper -exp modelfit      # section 7: cost model vs measurement
+//	benchpaper -exp ablations     # design ablations A1-A4 (see DESIGN.md)
+//
+// Experiment numbering (E1-E12) follows DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func()
+}
+
+var experiments = []experiment{
+	{"figure1", "Figure 1 — page I/Os required in Kim's examples (E1)", expFigure1},
+	{"countbug", "Section 5.1 — the COUNT bug in NEST-JA (E2)", expCountBug},
+	{"countfix", "Section 5.2 — the outer-join fix, temp table contents (E3)", expCountFix},
+	{"countstar", "Section 5.2.1 — COUNT(*) conversion (E4)", expCountStar},
+	{"noneq", "Section 5.3 — the non-equality bug and fix (E5)", expNonEq},
+	{"dups", "Section 5.4 — the duplicates problem and fix (E6)", expDuplicates},
+	{"ja2", "Section 6.1 — algorithm NEST-JA2 worked example (E7)", expJA2Example},
+	{"cost74", "Section 7.4 — cost example: 3050 vs ~475 (E8)", expCost74},
+	{"predicates", "Section 8 — EXISTS / NOT EXISTS / ANY / ALL (E10)", expPredicates},
+	{"tree", "Section 9.1 / Figure 2 — recursive processing of a general nested query (E9)", expTree},
+	{"sweep", "Section 4 — savings sweep, analytic and measured (E11)", expSweep},
+	{"modelfit", "Section 7 — cost model vs end-to-end measurement", expModelFit},
+	{"ablations", "Ablations A1-A4 — isolating each NEST-JA2 ingredient", expAblations},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all | "+names()+")")
+	flag.Parse()
+
+	if *exp == "all" {
+		for _, e := range experiments {
+			banner(e.desc)
+			e.run()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == *exp {
+			banner(e.desc)
+			e.run()
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of: all %s\n", *exp, names())
+	os.Exit(2)
+}
+
+func names() string {
+	s := ""
+	for i, e := range experiments {
+		if i > 0 {
+			s += " | "
+		}
+		s += e.name
+	}
+	return s
+}
+
+func banner(title string) {
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println(title)
+	fmt.Println("==================================================================")
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The experiment functions print to stdout and panic on internal errors;
+// running each one end to end is an integration test of the whole
+// pipeline (transform + planner + executors + cost model) at once.
+func TestAllExperimentsRun(t *testing.T) {
+	// Silence the experiment output during tests.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", e.name, r)
+				}
+			}()
+			e.run()
+		})
+	}
+}
+
+// The analytic Figure 1 rows must stay pinned to the paper's numbers
+// (within the documented tolerance for the type-JA transform row).
+func TestFigure1Calibration(t *testing.T) {
+	for _, r := range figure1Analytic() {
+		checks := []struct {
+			name         string
+			model, paper float64
+			tol          float64
+		}{
+			{"NI", r.modelNI, r.paperNI, 0.005},
+			{"transform", r.modelTransform, r.paperTransform, 0.03},
+		}
+		for _, c := range checks {
+			rel := (c.model - c.paper) / c.paper
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > c.tol {
+				t.Errorf("%s %s: model %.1f vs paper %.0f (%.1f%% off, tolerance %.1f%%)",
+					r.label, c.name, c.model, c.paper, rel*100, c.tol*100)
+			}
+		}
+	}
+}
+
+// The section 7 cost model must predict measured behavior: nested
+// iteration exactly (the deterministic filter makes f(i)·Ni exact), and
+// the JA2 merge-merge total within a small constant factor (the model
+// ignores in-memory sorts and buffer hits, so measured may be below; it
+// also charges no joins' output scans, so measured may be mildly above).
+func TestModelFitBounds(t *testing.T) {
+	cfg := workload.SyntheticConfig{
+		Name: "fit", OuterTuples: 500, InnerTuples: 300,
+		OuterPerPage: 10, InnerPerPage: 10, JoinDomain: 350,
+		Selectivity: 0.2, MatchFraction: 0.6, Seed: 22,
+	}
+	niModel, niMeas, ja2Model, ja2Meas := ModelFitRow(cfg, 6)
+	if float64(niMeas) != niModel {
+		t.Errorf("nested iteration: model %.0f, measured %d", niModel, niMeas)
+	}
+	ratio := float64(ja2Meas) / ja2Model
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("JA2 merge-merge: model %.1f, measured %d (ratio %.2f outside [0.3, 3])",
+			ja2Model, ja2Meas, ratio)
+	}
+}

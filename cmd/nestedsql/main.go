@@ -1,0 +1,209 @@
+// Command nestedsql runs SQL against one of the paper's example databases
+// (or an empty database) under a chosen evaluation strategy, printing the
+// result rows and the measured page I/Os. With -explain it also prints the
+// classification, transformation steps, and plan decisions.
+//
+// Examples:
+//
+//	nestedsql -fixture kiessling \
+//	  "SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+//	   WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)"
+//
+//	nestedsql -fixture kiessling -strategy kim -explain "..."   # the COUNT bug
+//	echo "SELECT SNAME FROM S" | nestedsql -fixture suppliers -
+//
+// Scripts with DDL and DML work too:
+//
+//	nestedsql -fixture none "CREATE TABLE T (X INT); INSERT INTO T VALUES (1); SELECT X FROM T"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	nestedsql "repro"
+)
+
+var fixtures = map[string]nestedsql.Fixture{
+	"kiessling":   nestedsql.FixtureKiessling,
+	"nonequality": nestedsql.FixtureNonEquality,
+	"duplicates":  nestedsql.FixtureDuplicates,
+	"suppliers":   nestedsql.FixtureSuppliers,
+}
+
+var strategies = map[string]nestedsql.Strategy{
+	"ni":  nestedsql.StrategyNestedIteration,
+	"ja2": nestedsql.StrategyTransform,
+	"kim": nestedsql.StrategyTransformKim,
+}
+
+var joins = map[string]nestedsql.JoinChoice{
+	"auto":  nestedsql.JoinAuto,
+	"merge": nestedsql.JoinMerge,
+	"nl":    nestedsql.JoinNestedLoops,
+}
+
+// csvLoads accumulates repeated -load TABLE=FILE flags.
+type csvLoads []string
+
+func (c *csvLoads) String() string     { return strings.Join(*c, ",") }
+func (c *csvLoads) Set(v string) error { *c = append(*c, v); return nil }
+
+func main() {
+	fixture := flag.String("fixture", "kiessling", "dataset: kiessling | nonequality | duplicates | suppliers | none")
+	strategy := flag.String("strategy", "ja2", "evaluation strategy: ni | ja2 | kim")
+	buffer := flag.Int("buffer", 32, "buffer pool size in pages (the paper's B)")
+	explain := flag.Bool("explain", false, "print classification, transformation steps, and plan decisions")
+	tempJoin := flag.String("join-temp", "auto", "force temp-table join method: auto | merge | nl")
+	finalJoin := flag.String("join-final", "auto", "force final join method: auto | merge | nl")
+	interactive := flag.Bool("i", false, "interactive REPL (read statements from stdin)")
+	var loads csvLoads
+	flag.Var(&loads, "load", "bulk-load a CSV file: TABLE=FILE (repeatable; first line is a header)")
+	open := flag.String("open", "", "open a database snapshot instead of a fixture")
+	save := flag.String("save", "", "write a database snapshot to this file before exiting")
+	flag.Parse()
+	strat, ok := strategies[*strategy]
+	if !ok {
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	tj, ok := joins[*tempJoin]
+	if !ok {
+		fail(fmt.Errorf("unknown join method %q", *tempJoin))
+	}
+	fj, ok := joins[*finalJoin]
+	if !ok {
+		fail(fmt.Errorf("unknown join method %q", *finalJoin))
+	}
+
+	var db *nestedsql.DB
+	if *open != "" {
+		f, err := os.Open(*open)
+		if err != nil {
+			fail(err)
+		}
+		db, err = nestedsql.Restore(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		db = nestedsql.Open(nestedsql.WithBufferPages(*buffer))
+	}
+	if *open == "" && *fixture != "none" {
+		f, ok := fixtures[*fixture]
+		if !ok {
+			fail(fmt.Errorf("unknown fixture %q", *fixture))
+		}
+		if err := db.LoadFixture(f); err != nil {
+			fail(err)
+		}
+	}
+	for _, spec := range loads {
+		table, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -load %q; want TABLE=FILE", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		n, err := db.LoadCSV(table, f, true)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d rows into %s\n", n, table)
+	}
+
+	saveAndExit := func() {
+		if *save == "" {
+			return
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		if err := db.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *save)
+	}
+	defer saveAndExit()
+
+	if *interactive {
+		repl(db, os.Stdin, true)
+		return
+	}
+	sql, err := readQuery(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	opts := []nestedsql.QueryOption{
+		nestedsql.WithStrategy(strat),
+		nestedsql.WithForcedJoins(tj, fj),
+	}
+	if *explain {
+		rep, err := db.Explain(sql, opts...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		return
+	}
+	res, err := db.Exec(sql, opts...)
+	if err != nil {
+		fail(err)
+	}
+	if res == nil {
+		fmt.Println("ok (no SELECT in script)")
+		return
+	}
+	printResult(res)
+}
+
+func readQuery(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("usage: nestedsql [flags] <sql> (or '-' to read stdin)")
+	}
+	if len(args) == 1 && args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	return strings.Join(args, " "), nil
+}
+
+func printResult(res *nestedsql.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))+4))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("\n%d row(s); %s", len(res.Rows), res.PageIO)
+	if res.FellBack {
+		fmt.Print("; fell back to nested iteration")
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nestedsql:", err)
+	os.Exit(1)
+}

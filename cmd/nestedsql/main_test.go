@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	nestedsql "repro"
+)
+
+func TestReadQuery(t *testing.T) {
+	if _, err := readQuery(nil); err == nil {
+		t.Error("no args must error with usage")
+	}
+	got, err := readQuery([]string{"SELECT", "X", "FROM", "T"})
+	if err != nil || got != "SELECT X FROM T" {
+		t.Errorf("joined args = %q, %v", got, err)
+	}
+}
+
+func TestFlagTables(t *testing.T) {
+	for name := range fixtures {
+		db := nestedsql.Open()
+		if err := db.LoadFixture(fixtures[name]); err != nil {
+			t.Errorf("fixture %s: %v", name, err)
+		}
+	}
+	if len(strategies) != 3 || len(joins) != 3 {
+		t.Errorf("option tables: %d strategies, %d joins", len(strategies), len(joins))
+	}
+}
+
+func TestPrintResult(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	db := nestedsql.Open()
+	if err := db.LoadFixture(nestedsql.FixtureKiessling); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT PNUM, QOH FROM PARTS WHERE QOH > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printResult(res) // empty result: header only, no panic
+	res, err = db.Exec("CREATE TABLE W (X INT); INSERT INTO W VALUES (NULL); SELECT X FROM W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printResult(res) // NULL rendering path
+}

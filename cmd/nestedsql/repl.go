@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	nestedsql "repro"
+)
+
+// repl reads statements (terminated by ';') from the reader and executes
+// them, printing results. Meta commands: \d lists tables, \strategy sets
+// the evaluation strategy, \explain toggles EXPLAIN mode, \q quits.
+func repl(db *nestedsql.DB, in io.Reader, interactive bool) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	strategy := nestedsql.StrategyTransform
+	explain := false
+
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("nestedsql> ")
+		} else {
+			fmt.Print("      ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && trimmed == "" {
+			prompt()
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !metaCommand(db, trimmed, &strategy, &explain) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			runStatement(db, buf.String(), strategy, explain)
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		runStatement(db, buf.String(), strategy, explain)
+	}
+}
+
+// metaCommand handles backslash commands; it returns false to quit.
+func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, explain *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\d`:
+		for _, name := range db.Internal().Catalog().Names() {
+			rel, _ := db.Internal().Catalog().Lookup(name)
+			cols := make([]string, len(rel.Columns))
+			for i, c := range rel.Columns {
+				cols[i] = c.Name + " " + c.Type.String()
+			}
+			fmt.Printf("%s(%s)\n", rel.Name, strings.Join(cols, ", "))
+		}
+	case `\strategy`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\strategy ni|ja2|kim")
+			break
+		}
+		s, ok := strategies[fields[1]]
+		if !ok {
+			fmt.Printf("unknown strategy %q\n", fields[1])
+			break
+		}
+		*strategy = s
+		fmt.Printf("strategy set to %s\n", fields[1])
+	case `\explain`:
+		*explain = !*explain
+		fmt.Printf("explain mode: %v\n", *explain)
+	case `\index`:
+		if len(fields) != 3 {
+			fmt.Println("usage: \\index TABLE COLUMN")
+			break
+		}
+		if err := db.CreateIndex(fields[1], fields[2]); err != nil {
+			fmt.Println("index:", err)
+			break
+		}
+		fmt.Printf("index created on %s.%s\n", fields[1], fields[2])
+	case `\analyze`:
+		if err := db.Analyze(); err != nil {
+			fmt.Println("analyze:", err)
+			break
+		}
+		fmt.Println("statistics collected")
+	default:
+		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\analyze, \\index, \\q)\n", fields[0])
+	}
+	return true
+}
+
+func runStatement(db *nestedsql.DB, sql string, strategy nestedsql.Strategy, explain bool) {
+	if strings.TrimSpace(strings.Trim(strings.TrimSpace(sql), ";")) == "" {
+		return
+	}
+	opts := []nestedsql.QueryOption{nestedsql.WithStrategy(strategy)}
+	if explain {
+		rep, err := db.Explain(sql, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Println(rep)
+		return
+	}
+	res, err := db.Exec(sql, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	printResult(res)
+}

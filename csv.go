@@ -1,0 +1,87 @@
+package nestedsql
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// LoadCSV bulk-loads comma-separated rows into an existing table. Fields
+// are converted by the table's column types; an empty field is NULL. With
+// header set, the first record is skipped. Dates accept the same formats
+// as SQL literals (M-D-YY, M/D/YY, ISO).
+func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
+	rel, ok := db.eng.Catalog().Lookup(table)
+	if !ok {
+		return 0, fmt.Errorf("nestedsql: unknown table %s", table)
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	n := 0
+	first := true
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("nestedsql: %s: %w", table, err)
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		if len(record) != len(rel.Columns) {
+			return n, fmt.Errorf("nestedsql: %s: record has %d fields, table has %d columns",
+				table, len(record), len(rel.Columns))
+		}
+		t := make(storage.Tuple, len(record))
+		for i, field := range record {
+			v, err := parseCSVField(field, rel.Columns[i].Type)
+			if err != nil {
+				return n, fmt.Errorf("nestedsql: %s column %s: %w", table, rel.Columns[i].Name, err)
+			}
+			t[i] = v
+		}
+		if err := db.eng.Insert(table, t); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, db.eng.Seal(table)
+}
+
+func parseCSVField(field string, want value.Kind) (value.Value, error) {
+	field = strings.TrimSpace(field)
+	if field == "" || strings.EqualFold(field, "NULL") {
+		return value.Null, nil
+	}
+	switch want {
+	case value.KindInt:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(n), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case value.KindDate:
+		d, err := value.ParseDate(field)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewDateValue(d), nil
+	default:
+		return value.NewString(field), nil
+	}
+}

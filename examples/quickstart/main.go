@@ -1,0 +1,71 @@
+// Quickstart: create tables, insert rows, and run a nested query under
+// all three strategies, comparing results and measured page I/Os.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nestedsql "repro"
+)
+
+func main() {
+	db := nestedsql.Open(nestedsql.WithBufferPages(8))
+
+	// The suppliers-and-parts database of the paper's introduction.
+	if err := db.LoadFixture(nestedsql.FixtureSuppliers); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 5 of the paper: "names of parts which have the highest part
+	// number in the city from which they are supplied" — a type-JA nested
+	// query (correlated aggregate).
+	const query = `
+		SELECT PNAME FROM P
+		WHERE PNO = (SELECT MAX(PNO) FROM SP
+		             WHERE SP.ORIGIN = P.CITY)`
+
+	for _, s := range []struct {
+		name string
+		opt  nestedsql.Strategy
+	}{
+		{"nested iteration (System R baseline)", nestedsql.StrategyNestedIteration},
+		{"NEST-JA2 transformation (this paper)", nestedsql.StrategyTransform},
+	} {
+		res, err := db.Query(query, nestedsql.WithStrategy(s.opt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", s.name)
+		for _, row := range res.Rows {
+			fmt.Printf("  %v\n", row[0])
+		}
+		fmt.Printf("  cost: %s\n\n", res.PageIO)
+	}
+
+	// Your own schema works the same way.
+	if err := db.CreateTable("ORDERS", []nestedsql.Column{
+		{Name: "ID", Type: nestedsql.Int},
+		{Name: "SNO", Type: nestedsql.String},
+		{Name: "PLACED", Type: nestedsql.Date},
+	}, 0, "ID"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("ORDERS",
+		[]any{1, "S1", "3-1-86"},
+		[]any{2, "S2", "5-20-86"},
+		[]any{3, "S9", "6-2-86"}, // no such supplier
+	); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`
+		SELECT ID FROM ORDERS
+		WHERE SNO IN (SELECT SNO FROM S WHERE STATUS >= 20)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("orders from high-status suppliers:")
+	for _, row := range res.Rows {
+		fmt.Printf("  order %v\n", row[0])
+	}
+}

@@ -1,0 +1,69 @@
+package ast
+
+// Deep cloning. The transformation algorithms are rewrites that must not
+// alias mutable state with the input query: the engine keeps the original
+// AST to run nested iteration (the semantic baseline) side by side with the
+// transformed form, so transforms always work on a clone.
+
+// Clone returns a deep copy of the query block tree.
+func (qb *QueryBlock) Clone() *QueryBlock {
+	if qb == nil {
+		return nil
+	}
+	out := &QueryBlock{
+		Distinct: qb.Distinct,
+		Select:   append([]SelectItem(nil), qb.Select...),
+		From:     append([]TableRef(nil), qb.From...),
+		GroupBy:  append([]ColumnRef(nil), qb.GroupBy...),
+		Having:   append([]HavingPred(nil), qb.Having...),
+		OrderBy:  append([]OrderItem(nil), qb.OrderBy...),
+	}
+	if qb.Where != nil {
+		out.Where = make([]Predicate, len(qb.Where))
+		for i, p := range qb.Where {
+			out.Where[i] = ClonePredicate(p)
+		}
+	}
+	return out
+}
+
+// ClonePredicate returns a deep copy of a predicate.
+func ClonePredicate(p Predicate) Predicate {
+	switch p := p.(type) {
+	case *Comparison:
+		return &Comparison{
+			Left:      CloneExpr(p.Left),
+			Op:        p.Op,
+			Right:     CloneExpr(p.Right),
+			LeftOuter: p.LeftOuter,
+		}
+	case *InPred:
+		return &InPred{Left: CloneExpr(p.Left), Sub: p.Sub.Clone(), Negated: p.Negated}
+	case *ExistsPred:
+		return &ExistsPred{Sub: p.Sub.Clone(), Negated: p.Negated}
+	case *QuantPred:
+		return &QuantPred{Left: CloneExpr(p.Left), Op: p.Op, Quant: p.Quant, Sub: p.Sub.Clone()}
+	case *OrPred:
+		return &OrPred{Left: ClonePredicate(p.Left), Right: ClonePredicate(p.Right)}
+	case *AndPred:
+		return &AndPred{Left: ClonePredicate(p.Left), Right: ClonePredicate(p.Right)}
+	case *NotPred:
+		return &NotPred{P: ClonePredicate(p.P)}
+	default:
+		panic("ast: unknown predicate type in ClonePredicate")
+	}
+}
+
+// CloneExpr returns a deep copy of an expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case ColumnRef:
+		return e
+	case Const:
+		return e
+	case *Subquery:
+		return &Subquery{Block: e.Block.Clone()}
+	default:
+		panic("ast: unknown expression type in CloneExpr")
+	}
+}

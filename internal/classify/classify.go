@@ -1,0 +1,99 @@
+// Package classify implements Kim's classification of nested predicates
+// (section 2 of the paper), on which the choice of transformation
+// algorithm depends:
+//
+//   - type-A: the inner block is independent of the outer block and its
+//     SELECT clause is an aggregate — it evaluates to a single constant.
+//   - type-N: independent, no aggregate — a set of values.
+//   - type-J: the inner block contains a join predicate referencing an
+//     outer relation, no aggregate.
+//   - type-JA: a correlated join predicate and an aggregate SELECT clause.
+//
+// Classification requires a resolved query tree (schema.Resolve), because
+// "references a relation of an outer query block" is a binding property.
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// NestType is the nesting type of one nested predicate.
+type NestType uint8
+
+// The four types of section 2, plus NotNested for predicates without a
+// subquery.
+const (
+	NotNested NestType = iota
+	TypeA
+	TypeN
+	TypeJ
+	TypeJA
+)
+
+// String renders the type as the paper names it.
+func (t NestType) String() string {
+	switch t {
+	case NotNested:
+		return "not nested"
+	case TypeA:
+		return "type-A"
+	case TypeN:
+		return "type-N"
+	case TypeJ:
+		return "type-J"
+	case TypeJA:
+		return "type-JA"
+	default:
+		return fmt.Sprintf("NestType(%d)", uint8(t))
+	}
+}
+
+// Classify determines the nesting type of predicate p. The predicate's
+// inner block is examined as a whole subtree: it is correlated if any
+// reference inside it binds outside it (after the recursive transformation
+// of deeper levels, such references have migrated into the block itself —
+// the "trans-aggregate" join predicates of section 9.1).
+func Classify(p ast.Predicate) NestType {
+	sub := ast.SubqueryOf(p)
+	if sub == nil {
+		return NotNested
+	}
+	correlated := ast.IsCorrelated(sub)
+	agg := sub.HasAggregate()
+	switch {
+	case !correlated && agg:
+		return TypeA
+	case !correlated && !agg:
+		return TypeN
+	case correlated && !agg:
+		return TypeJ
+	default:
+		return TypeJA
+	}
+}
+
+// QueryProfile summarizes the nesting structure of a whole query: the
+// number of blocks, maximum depth, and the multiset of predicate types at
+// each level. EXPLAIN prints it.
+type QueryProfile struct {
+	Blocks   int
+	MaxDepth int
+	Types    []NestType // one entry per nested predicate, preorder
+}
+
+// Profile walks the query and classifies every nested predicate.
+func Profile(qb *ast.QueryBlock) QueryProfile {
+	prof := QueryProfile{MaxDepth: qb.MaxDepth()}
+	ast.VisitBlocks(qb, func(b *ast.QueryBlock, _ int) bool {
+		prof.Blocks++
+		for _, p := range b.Where {
+			if ast.IsNested(p) {
+				prof.Types = append(prof.Types, Classify(p))
+			}
+		}
+		return true
+	})
+	return prof
+}

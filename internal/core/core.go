@@ -1,0 +1,45 @@
+// Package core exposes the paper's primary contribution as a single
+// surface: classification of nested predicates (Kim's type-A / N / J / JA
+// taxonomy), the recursive general transformation procedure nest_g with
+// the corrected NEST-JA2 algorithm, and the buggy Kim NEST-JA variant
+// retained for the paper's counterexample experiments.
+//
+// The surrounding substrates — parser, catalog, paged storage, physical
+// operators, cost model, planner — live in their own packages; core wires
+// the transformation entry points the engine and the public API build on.
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/schema"
+	"repro/internal/transform"
+)
+
+// Unnest applies the paper's recursive transformation (procedure nest_g of
+// section 9.1, with NEST-N-J and the corrected NEST-JA2) to a resolved
+// query block tree, returning the canonical form and its temporary-table
+// program. The input is not modified. Queries outside the algorithms'
+// scope return an error wrapping transform.ErrNotTransformable.
+func Unnest(cat *schema.Catalog, qb *ast.QueryBlock) (*transform.Result, error) {
+	return transform.New(cat, transform.JA2).Transform(qb)
+}
+
+// UnnestKim applies the same pipeline with Kim's original NEST-JA, which
+// exhibits the COUNT bug (section 5.1) and the non-equality bug (section
+// 5.3). It exists so the engine and experiments can reproduce the paper's
+// counterexamples side by side with the fix.
+func UnnestKim(cat *schema.Catalog, qb *ast.QueryBlock) (*transform.Result, error) {
+	return transform.New(cat, transform.KimJA).Transform(qb)
+}
+
+// ClassifyPredicate reports the nesting type of a single predicate in a
+// resolved query (Kim's taxonomy, section 2 of the paper).
+func ClassifyPredicate(p ast.Predicate) classify.NestType {
+	return classify.Classify(p)
+}
+
+// ProfileQuery summarizes the nesting structure of a resolved query.
+func ProfileQuery(qb *ast.QueryBlock) classify.QueryProfile {
+	return classify.Profile(qb)
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+func resolved(t *testing.T, src string) (*workload.DB, *ast.QueryBlock) {
+	t.Helper()
+	db := workload.NewDB(8)
+	if err := workload.LoadKiessling(db); err != nil {
+		t.Fatal(err)
+	}
+	qb := sqlparser.MustParse(src)
+	if _, err := schema.Resolve(db.Cat, qb); err != nil {
+		t.Fatal(err)
+	}
+	return db, qb
+}
+
+func TestUnnestAppliesJA2(t *testing.T) {
+	db, qb := resolved(t, workload.KiesslingQ2)
+	res, err := core.Unnest(db.Cat, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Temps) != 3 {
+		t.Errorf("temps = %d, want 3", len(res.Temps))
+	}
+	if !strings.Contains(res.Temps[2].Def.String(), "=+") {
+		t.Errorf("outer join missing: %s", res.Temps[2].Def)
+	}
+}
+
+func TestUnnestKimReproducesBuggyForm(t *testing.T) {
+	db, qb := resolved(t, workload.KiesslingQ2)
+	res, err := core.UnnestKim(db.Cat, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Temps) != 1 {
+		t.Errorf("temps = %d, want 1", len(res.Temps))
+	}
+	if strings.Contains(res.Temps[0].Def.String(), "=+") {
+		t.Errorf("Kim's temp must not use an outer join: %s", res.Temps[0].Def)
+	}
+}
+
+func TestUnnestErrorWraps(t *testing.T) {
+	db, qb := resolved(t,
+		"SELECT PNUM FROM PARTS WHERE QOH > 9 OR PNUM IN (SELECT PNUM FROM SUPPLY)")
+	_, err := core.Unnest(db.Cat, qb)
+	if !errors.Is(err, transform.ErrNotTransformable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClassifyAndProfile(t *testing.T) {
+	_, qb := resolved(t, workload.KiesslingQ2)
+	if got := core.ClassifyPredicate(qb.Where[0]); got != classify.TypeJA {
+		t.Errorf("classify = %v", got)
+	}
+	prof := core.ProfileQuery(qb)
+	if prof.Blocks != 2 || prof.MaxDepth != 1 {
+		t.Errorf("profile = %+v", prof)
+	}
+}

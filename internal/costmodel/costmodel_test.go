@@ -1,0 +1,162 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestSortCost(t *testing.T) {
+	// 2·P·log_{B-1}(P): P=50, B=6 -> 2·50·log5(50) = 243.07...
+	if got := SortCost(50, 6); !almost(got, 243.07, 0.1) {
+		t.Errorf("SortCost(50,6) = %v", got)
+	}
+	if got := SortCost(1, 6); got != 0 {
+		t.Errorf("SortCost(1,6) = %v, want 0", got)
+	}
+	if got := SortCost(0, 6); got != 0 {
+		t.Errorf("SortCost(0,6) = %v, want 0", got)
+	}
+	// B below 3 clamps to two-way merge.
+	if got, want := SortCost(8, 1), 2*8*3.0; !almost(got, want, 1e-9) {
+		t.Errorf("SortCost(8,1) = %v, want %v", got, want)
+	}
+}
+
+// The paper's section 7.4 example: nested iteration costs exactly 3050;
+// the two-merge-join NEST-JA2 evaluation costs "about 475" (478.6 with
+// real logarithms).
+func TestSection74Example(t *testing.T) {
+	p := Section74Params
+	if got := p.NestedIteration(); got != 3050 {
+		t.Errorf("nested iteration = %v, want 3050", got)
+	}
+	got := p.Totals().MergeMerge
+	if !almost(got, 478.6, 0.5) {
+		t.Errorf("two-merge-join total = %v, want ~478.6 (paper: about 475)", got)
+	}
+	// The transformation wins by roughly 6.4x, preserving the paper's
+	// order-of-magnitude claim.
+	if ratio := p.NestedIteration() / got; ratio < 6 || ratio > 7 {
+		t.Errorf("savings ratio = %v, want ~6.4", ratio)
+	}
+}
+
+// Recompute the section 7.4 total term by term, as the paper prints it:
+// Pi + Pt2 + 2·Pt2·log + Pj + Pt3 + 2·Pt3·log + Pt2 + Pt3 + 2·Pt4 + Pt +
+// 2·Pi·log + Pi + Pt.
+func TestSection74TermByTerm(t *testing.T) {
+	p := Section74Params
+	manual := p.Pi + p.Pt2 + SortCost(p.Pt2, p.B) +
+		p.Pj + p.Pt3 + SortCost(p.Pt3, p.B) + p.Pt2 + p.Pt3 + 2*p.Pt4 + p.Pt +
+		SortCost(p.Pi, p.B) + p.Pi + p.Pt
+	if got := p.Totals().MergeMerge; !almost(got, manual, 1e-9) {
+		t.Errorf("MergeMerge = %v, manual sum = %v", got, manual)
+	}
+}
+
+func TestTempCreationNLFitsBoundary(t *testing.T) {
+	p := Section74Params
+	// Pt3 = 10 > B-1 = 5: the no-fit formula applies.
+	noFit := p.Pj + p.Pt3 + p.Pt2 + p.Nt2*p.Pt3 + p.Pt4
+	if got := p.TempCreationNLCost(); !almost(got, noFit, 1e-9) {
+		t.Errorf("NL no-fit = %v, want %v", got, noFit)
+	}
+	// Shrink Rt3 to fit: Pj + Pt2 + Pt4.
+	p.Pt3 = 4
+	if got, want := p.TempCreationNLCost(), p.Pj+p.Pt2+p.Pt4; !almost(got, want, 1e-9) {
+		t.Errorf("NL fits = %v, want %v", got, want)
+	}
+}
+
+func TestFinalNLJoinBoundary(t *testing.T) {
+	p := Section74Params // Pt = 5 = B-1: fits
+	if got, want := p.FinalNLJoinCost(), p.Pi+p.Pt; !almost(got, want, 1e-9) {
+		t.Errorf("final NL fits = %v, want %v", got, want)
+	}
+	p.Pt = 6 // just over
+	if got, want := p.FinalNLJoinCost(), p.Pi+p.Ni*p.Pt; !almost(got, want, 1e-9) {
+		t.Errorf("final NL no-fit = %v, want %v", got, want)
+	}
+}
+
+func TestTypeNNestedIteration(t *testing.T) {
+	// X fits in the buffer: read it once.
+	if got, want := TypeNNestedIterationCost(100, 120, 50, 100, 64), 120+100+50.0; !almost(got, want, 1e-9) {
+		t.Errorf("type-N fits = %v, want %v", got, want)
+	}
+	// X larger than B: re-scan per qualifying outer tuple.
+	if got, want := TypeNNestedIterationCost(100, 120, 100, 100, 64), 120.0+100+100*100; !almost(got, want, 1e-9) {
+		t.Errorf("type-N no-fit = %v, want %v", got, want)
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	c := TotalCosts{MergeMerge: 4, MergeNL: 2, NLMerge: 8, NLNL: 3}
+	if got := c.Best(); got != 2 {
+		t.Errorf("Best = %v", got)
+	}
+}
+
+// Property: the "two merge joins" evaluation is never worse than the other
+// three when nothing fits in memory (large temps, small buffer), matching
+// the paper's emphasis on that variant.
+func TestMergeMergeWinsWhenNothingFits(t *testing.T) {
+	f := func(pi8, pj8, scale uint8) bool {
+		p := JA2Params{
+			Pi:  float64(pi8%100) + 50,
+			Pj:  float64(pj8%100) + 50,
+			B:   6,
+			FNi: 100,
+		}
+		p.Pt2 = p.Pi/4 + 6 // always > B-1
+		p.Pt3 = p.Pj/4 + 6
+		p.Pt4 = p.Pt3
+		p.Pt = p.Pt2
+		p.Ni = p.Pi * 10
+		p.Nt2 = p.Pt2 * float64(scale%8+2)
+		c := p.Totals()
+		return c.MergeMerge <= c.NLNL+1e-9 && c.MergeMerge <= c.NLMerge+1e-9 &&
+			c.MergeMerge <= c.MergeNL+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortCost is monotone in P and decreasing in B.
+func TestSortCostMonotone(t *testing.T) {
+	f := func(p16 uint16, b8 uint8) bool {
+		p := float64(p16%1000) + 2
+		b := int(b8%50) + 3
+		if SortCost(p+1, b) < SortCost(p, b) {
+			return false
+		}
+		return SortCost(p, b+1) <= SortCost(p, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The savings claim of section 4: across a broad sweep of parameters with
+// a correlated inner relation that dominates cost, the transformation
+// saves 80%-95% or more.
+func TestSavingsClaimHolds(t *testing.T) {
+	for _, fNi := range []float64{50, 100, 500} {
+		for _, pj := range []float64{30, 100, 300} {
+			p := JA2Params{
+				Pi: 100, Pj: pj,
+				Pt2: 10, Pt3: pj / 3, Pt4: pj / 3, Pt: 10,
+				FNi: fNi, Ni: 1000, Nt2: 100, B: 10,
+			}
+			ni := p.NestedIteration()
+			tr := p.Totals().Best()
+			if sav := 1 - tr/ni; sav < 0.5 {
+				t.Errorf("fNi=%v pj=%v: savings only %.0f%%", fNi, pj, sav*100)
+			}
+		}
+	}
+}

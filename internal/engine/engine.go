@@ -1,0 +1,304 @@
+// Package engine is the façade over the whole system: catalog, paged
+// storage, parser, resolver, classifier, transformer, planner, and the two
+// executors. A query runs under one of three strategies:
+//
+//   - NestedIteration: the System R baseline the paper starts from, and
+//     the engine's semantic ground truth.
+//   - TransformJA2: the paper's contribution — the recursive nest_g
+//     procedure with NEST-N-J and the corrected NEST-JA2, followed by
+//     cost-based join planning. Queries outside the algorithms' scope fall
+//     back to nested iteration (reported in the result).
+//   - TransformKim: the same pipeline with Kim's original NEST-JA, kept to
+//     reproduce the COUNT bug and the non-equality bug.
+//
+// Page I/O statistics are captured per query, so strategies are directly
+// comparable on the paper's metric.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/planner"
+	"repro/internal/querygraph"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/transform"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy uint8
+
+// The strategies.
+const (
+	NestedIteration Strategy = iota
+	TransformJA2
+	TransformKim
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case NestedIteration:
+		return "nested-iteration"
+	case TransformJA2:
+		return "transform (NEST-JA2)"
+	case TransformKim:
+		return "transform (Kim NEST-JA)"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// DB is a database instance: a catalog plus a paged store with a B-page
+// buffer pool, and optionally System R statistics for the planner.
+type DB struct {
+	cat     *schema.Catalog
+	store   *storage.Store
+	stats   *stats.Stats
+	indexes *index.Registry
+}
+
+// New creates an empty database with the given buffer pool size (the
+// paper's B).
+func New(bufferPages int) *DB {
+	return &DB{
+		cat:     schema.NewCatalog(),
+		store:   storage.NewStore(bufferPages),
+		indexes: index.NewRegistry(),
+	}
+}
+
+// Catalog exposes the catalog (for fixtures and tools).
+func (db *DB) Catalog() *schema.Catalog { return db.cat }
+
+// Store exposes the storage layer (for fixtures and I/O statistics).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Analyze collects System R-style statistics (page/tuple counts, distinct
+// values per column) for every relation; subsequent transformed queries
+// use them for selectivity-aware join choices. Run it after bulk loading
+// and re-run after significant data changes. The collection scan's page
+// reads are charged to the store like any other access.
+func (db *DB) Analyze() error {
+	st := stats.New()
+	if err := st.Analyze(db.cat, db.store); err != nil {
+		return err
+	}
+	db.stats = st
+	return nil
+}
+
+// Statistics returns the collected statistics, or nil before Analyze.
+func (db *DB) Statistics() *stats.Stats { return db.stats }
+
+// CreateIndex builds a secondary index on table.column (charging the
+// build scan). Inserting into the table afterwards drops its indexes —
+// they are build-once snapshots, like the statistics.
+func (db *DB) CreateIndex(table, column string) error {
+	rel, ok := db.cat.Lookup(table)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %s", table)
+	}
+	colIdx := rel.ColumnIndex(column)
+	if colIdx < 0 {
+		return fmt.Errorf("engine: relation %s has no column %s", table, column)
+	}
+	f, ok := db.store.Lookup(rel.Name)
+	if !ok {
+		return fmt.Errorf("engine: relation %s has no storage", table)
+	}
+	return db.indexes.Add(index.Build(db.store, f, rel.Name, rel.Columns[colIdx].Name, colIdx))
+}
+
+// Indexes exposes the index registry (for tools).
+func (db *DB) Indexes() *index.Registry { return db.indexes }
+
+// CreateRelation defines a relation and its backing heap file.
+// tuplesPerPage <= 0 uses the storage default.
+func (db *DB) CreateRelation(rel *schema.Relation, tuplesPerPage int) error {
+	if err := db.cat.Define(rel); err != nil {
+		return err
+	}
+	if _, err := db.store.Create(rel.Name, tuplesPerPage); err != nil {
+		db.cat.Drop(rel.Name)
+		return err
+	}
+	return nil
+}
+
+// Insert appends rows to a relation. Call Seal (or run a query, which does
+// not require sealing) when bulk loading is done; Insert seals lazily via
+// the storage layer's accounting only when pages fill.
+func (db *DB) Insert(relation string, rows ...storage.Tuple) error {
+	rel, ok := db.cat.Lookup(relation)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %s", relation)
+	}
+	f, ok := db.store.Lookup(rel.Name)
+	if !ok {
+		return fmt.Errorf("engine: relation %s has no storage", relation)
+	}
+	for _, r := range rows {
+		if len(r) != len(rel.Columns) {
+			return fmt.Errorf("engine: row %v does not match schema of %s", r, relation)
+		}
+		f.Append(r)
+	}
+	// Indexes are snapshots of the data at build time.
+	db.indexes.DropRelation(rel.Name)
+	return nil
+}
+
+// Seal finishes bulk loading a relation (accounts the final partial page).
+func (db *DB) Seal(relation string) error {
+	f, ok := db.store.Lookup(relation)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %s", relation)
+	}
+	f.Seal()
+	return nil
+}
+
+// Options control query execution.
+type Options struct {
+	Strategy Strategy
+	// Planner options (forced join methods, temp page sizes) for the
+	// transform strategies.
+	Planner planner.Options
+	// NoFallback makes a non-transformable query an error instead of
+	// falling back to nested iteration.
+	NoFallback bool
+}
+
+// Result is a completed query.
+type Result struct {
+	Columns  []string
+	Rows     []storage.Tuple
+	Stats    storage.IOStats // page I/Os consumed by this query
+	Strategy Strategy        // strategy requested
+	FellBack bool            // true if transformation fell back to nested iteration
+	Profile  classify.QueryProfile
+	Trace    []string // transformation steps and plan notes
+}
+
+// Query parses, resolves, and executes one SQL statement.
+func (db *DB) Query(sql string, opts Options) (*Result, error) {
+	qb, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	out, err := schema.Resolve(db.cat, qb)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Strategy: opts.Strategy, Profile: classify.Profile(qb)}
+	for _, c := range out {
+		res.Columns = append(res.Columns, c.Name)
+	}
+
+	before := db.store.Stats()
+	switch opts.Strategy {
+	case NestedIteration:
+		err = db.runNested(qb, res)
+	case TransformJA2, TransformKim:
+		variant := transform.JA2
+		if opts.Strategy == TransformKim {
+			variant = transform.KimJA
+		}
+		err = db.runTransformed(qb, variant, opts, res)
+	default:
+		err = fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = db.store.Stats().Sub(before)
+	return res, nil
+}
+
+func (db *DB) runNested(qb *ast.QueryBlock, res *Result) error {
+	ev := exec.NewEvaluator(db.cat, db.store)
+	defer ev.Close()
+	rows, _, err := ev.EvalQuery(qb)
+	if err != nil {
+		return err
+	}
+	res.Rows = rows
+	res.Trace = append(res.Trace, "evaluated by nested iteration")
+	return nil
+}
+
+func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts Options, res *Result) error {
+	tr, err := transform.New(db.cat, variant).Transform(qb)
+	if errors.Is(err, transform.ErrNotTransformable) && !opts.NoFallback {
+		res.FellBack = true
+		res.Trace = append(res.Trace, fmt.Sprintf("fallback to nested iteration: %v", err))
+		return db.runNested(qb, res)
+	}
+	if err != nil {
+		return err
+	}
+	for _, s := range tr.Steps {
+		res.Trace = append(res.Trace, s.Rule+": "+s.Detail)
+	}
+	popts := opts.Planner
+	if popts.Stats == nil {
+		popts.Stats = db.stats
+	}
+	if popts.Indexes == nil {
+		popts.Indexes = db.indexes
+	}
+	pl := planner.New(db.cat, db.store, popts)
+	rows, _, err := pl.Run(tr)
+	res.Trace = append(res.Trace, pl.Notes()...)
+	if err != nil {
+		return err
+	}
+	res.Rows = rows
+	return nil
+}
+
+// Explain returns a textual report of how the query would be (and was)
+// processed under the given options: the classification profile, the
+// transformation steps with their SQL, the plan decisions, and the final
+// canonical query. It executes the query to obtain measured page I/Os.
+func (db *DB) Explain(sql string, opts Options) (string, error) {
+	qb, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if _, err := schema.Resolve(db.cat, qb); err != nil {
+		return "", err
+	}
+	res, err := db.Query(sql, opts)
+	if err != nil {
+		return "", err
+	}
+	s := fmt.Sprintf("Query:\n%s\n\nStrategy: %v\n", qb.Pretty(), opts.Strategy)
+	s += fmt.Sprintf("Nesting: %d block(s), depth %d", res.Profile.Blocks, res.Profile.MaxDepth)
+	for _, ty := range res.Profile.Types {
+		s += ", " + ty.String()
+	}
+	s += "\n"
+	if res.Profile.MaxDepth > 0 {
+		s += "\nQuery tree (Figure 2 style):\n" + querygraph.Build(qb).ASCII()
+	}
+	if res.FellBack {
+		s += "Fell back to nested iteration.\n"
+	}
+	if len(res.Trace) > 0 {
+		s += "\nSteps:\n"
+		for _, t := range res.Trace {
+			s += "  " + t + "\n"
+		}
+	}
+	s += fmt.Sprintf("\nMeasured cost: %v\nRows: %d\n", res.Stats, len(res.Rows))
+	return s, nil
+}

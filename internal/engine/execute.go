@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/exec"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Exec runs a script of semicolon-separated statements: CREATE TABLE,
+// INSERT INTO, DELETE FROM, UPDATE, and SELECT. It returns the result of
+// the last SELECT (nil if the script contains none). DDL and DML take
+// effect immediately; a failing statement aborts the script with prior
+// statements applied (no transactional rollback — the paper's world has
+// none either).
+func (db *DB) Exec(script string, opts Options) (*Result, error) {
+	stmts, err := sqlparser.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		switch stmt := stmt.(type) {
+		case *sqlparser.CreateTableStmt:
+			if err := db.CreateRelation(stmt.Relation, 0); err != nil {
+				return nil, err
+			}
+		case *sqlparser.InsertStmt:
+			if err := db.execInsert(stmt); err != nil {
+				return nil, err
+			}
+		case *sqlparser.DeleteStmt:
+			if _, err := db.execDelete(stmt); err != nil {
+				return nil, err
+			}
+		case *sqlparser.UpdateStmt:
+			if _, err := db.execUpdate(stmt); err != nil {
+				return nil, err
+			}
+		case *sqlparser.SelectStmt:
+			res, err := db.Query(stmt.Query.String(), opts)
+			if err != nil {
+				return nil, err
+			}
+			last = res
+		default:
+			return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+		}
+	}
+	return last, nil
+}
+
+// execInsert type-checks literals against the table schema (coercing
+// string literals to dates for DATE columns) and appends the rows.
+func (db *DB) execInsert(stmt *sqlparser.InsertStmt) error {
+	rel, ok := db.cat.Lookup(stmt.Table)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %s", stmt.Table)
+	}
+	for _, row := range stmt.Rows {
+		if len(row) != len(rel.Columns) {
+			return fmt.Errorf("engine: INSERT row has %d values, %s has %d columns",
+				len(row), rel.Name, len(rel.Columns))
+		}
+		t := make(storage.Tuple, len(row))
+		for i, v := range row {
+			cv, err := coerceInsertValue(v, rel.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("engine: column %s of %s: %w", rel.Columns[i].Name, rel.Name, err)
+			}
+			t[i] = cv
+		}
+		if err := db.Insert(rel.Name, t); err != nil {
+			return err
+		}
+	}
+	return db.Seal(stmt.Table)
+}
+
+// resolveDMLWhere resolves a DELETE/UPDATE WHERE clause by wrapping it in
+// a synthetic SELECT over the target relation, returning the relation, its
+// row schema, and the resolved predicates.
+func (db *DB) resolveDMLWhere(table string, where []ast.Predicate) (*schema.Relation, exec.RowSchema, []ast.Predicate, error) {
+	rel, ok := db.cat.Lookup(table)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("engine: unknown relation %s", table)
+	}
+	qb := &ast.QueryBlock{
+		Select: []ast.SelectItem{{Col: ast.ColumnRef{Table: rel.Name, Column: rel.Columns[0].Name}}},
+		From:   []ast.TableRef{{Relation: rel.Name}},
+		Where:  where,
+	}
+	if _, err := schema.Resolve(db.cat, qb); err != nil {
+		return nil, nil, nil, err
+	}
+	sch := make(exec.RowSchema, len(rel.Columns))
+	for i, c := range rel.Columns {
+		sch[i] = exec.ColID{Table: rel.Name, Column: c.Name}
+	}
+	return rel, sch, qb.Where, nil
+}
+
+// execDelete removes the rows matching the WHERE clause (all rows when it
+// is absent), returning the count. The predicate supports the full
+// dialect, including nested subqueries, evaluated by nested iteration.
+func (db *DB) execDelete(stmt *sqlparser.DeleteStmt) (int, error) {
+	rel, sch, where, err := db.resolveDMLWhere(stmt.Table, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	f, _ := db.store.Lookup(rel.Name)
+	ev := exec.NewEvaluator(db.cat, db.store)
+	defer ev.Close()
+	var evalErr error
+	n := f.Rewrite(func(t storage.Tuple) (bool, storage.Tuple) {
+		if evalErr != nil {
+			return true, nil
+		}
+		match, err := ev.Qualifies(where, sch, t)
+		if err != nil {
+			evalErr = err
+			return true, nil
+		}
+		return !match, nil
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	db.indexes.DropRelation(rel.Name)
+	return n, nil
+}
+
+// execUpdate assigns the SET literals to the rows matching the WHERE
+// clause, returning the count.
+func (db *DB) execUpdate(stmt *sqlparser.UpdateStmt) (int, error) {
+	rel, sch, where, err := db.resolveDMLWhere(stmt.Table, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	type setIdx struct {
+		pos int
+		val value.Value
+	}
+	sets := make([]setIdx, len(stmt.Set))
+	for i, sc := range stmt.Set {
+		pos := rel.ColumnIndex(sc.Column)
+		if pos < 0 {
+			return 0, fmt.Errorf("engine: relation %s has no column %s", rel.Name, sc.Column)
+		}
+		v, err := coerceInsertValue(sc.Val, rel.Columns[pos].Type)
+		if err != nil {
+			return 0, fmt.Errorf("engine: column %s: %w", sc.Column, err)
+		}
+		sets[i] = setIdx{pos: pos, val: v}
+	}
+	f, _ := db.store.Lookup(rel.Name)
+	ev := exec.NewEvaluator(db.cat, db.store)
+	defer ev.Close()
+	var evalErr error
+	n := f.Rewrite(func(t storage.Tuple) (bool, storage.Tuple) {
+		if evalErr != nil {
+			return true, nil
+		}
+		match, err := ev.Qualifies(where, sch, t)
+		if err != nil {
+			evalErr = err
+			return true, nil
+		}
+		if !match {
+			return true, nil
+		}
+		nt := t.Clone()
+		for _, si := range sets {
+			nt[si.pos] = si.val
+		}
+		return true, nt
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	db.indexes.DropRelation(rel.Name)
+	return n, nil
+}
+
+func coerceInsertValue(v value.Value, want value.Kind) (value.Value, error) {
+	if v.IsNull() || v.Kind() == want {
+		return v, nil
+	}
+	switch {
+	case want == value.KindDate && v.Kind() == value.KindString:
+		d, err := value.ParseDate(v.Str())
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewDateValue(d), nil
+	case want == value.KindFloat && v.Kind() == value.KindInt:
+		return value.NewFloat(float64(v.Int())), nil
+	default:
+		return value.Null, fmt.Errorf("cannot store %s into %s column", v.Kind(), want)
+	}
+}

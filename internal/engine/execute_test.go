@@ -1,0 +1,199 @@
+package engine_test
+
+import (
+	"repro/internal/workload"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestExecScript(t *testing.T) {
+	db := engine.New(8)
+	res, err := db.Exec(`
+		CREATE TABLE EMP (ID INTEGER, NAME VARCHAR(10), SAL FLOAT, HIRED DATE,
+		                  PRIMARY KEY (ID));
+		INSERT INTO EMP VALUES (1, 'ada', 10.5, 6-1-79), (2, 'bob', 9, '1-1-81');
+		INSERT INTO EMP VALUES (3, 'cyd', NULL, NULL);
+		SELECT NAME FROM EMP WHERE HIRED < 1-1-80;
+	`, engine.Options{Strategy: engine.TransformJA2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "ada" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Int 9 was widened into the FLOAT column.
+	res, err = db.Exec("SELECT SAL FROM EMP WHERE ID = 2", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Float(); got != 9.0 {
+		t.Errorf("widened SAL = %v", got)
+	}
+}
+
+func TestExecMultipleInsertsSameTable(t *testing.T) {
+	db := engine.New(8)
+	if _, err := db.Exec(`CREATE TABLE T (X INT)`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Two separate INSERT statements: the second reopens the sealed file.
+	for range 2 {
+		if _, err := db.Exec(`INSERT INTO T VALUES (1), (2)`, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec(`SELECT X FROM T`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestExecNoSelectReturnsNil(t *testing.T) {
+	db := engine.New(8)
+	res, err := db.Exec(`CREATE TABLE T (X INT); INSERT INTO T VALUES (1)`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Errorf("res = %+v, want nil", res)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := engine.New(8)
+	cases := []struct {
+		script, frag string
+	}{
+		{"INSERT INTO NOPE VALUES (1)", "unknown relation"},
+		{"CREATE TABLE T (X INT); INSERT INTO T VALUES (1, 2)", "columns"},
+		{"CREATE TABLE U (X INT); INSERT INTO U VALUES ('abc')", "cannot store"},
+		{"CREATE TABLE V (D DATE); INSERT INTO V VALUES ('notadate')", "cannot parse date"},
+		{"CREATE TABLE V2 (X INT); CREATE TABLE V2 (Y INT)", "already defined"},
+		{"GARBAGE", "expected SELECT"},
+	}
+	for _, c := range cases {
+		if _, err := db.Exec(c.script, engine.Options{}); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Exec(%q): err = %v, want containing %q", c.script, err, c.frag)
+		}
+	}
+}
+
+// DDL, DML, and a nested query in one script, end to end.
+func TestExecEndToEndNestedQuery(t *testing.T) {
+	db := engine.New(8)
+	res, err := db.Exec(`
+		CREATE TABLE PARTS (PNUM INT, QOH INT);
+		CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE);
+		INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0);
+		INSERT INTO SUPPLY VALUES
+			(3, 4, 7-3-79), (3, 2, 10-1-78), (10, 1, 6-8-78),
+			(10, 2, 8-10-81), (8, 5, 5-7-83);
+		SELECT PNUM FROM PARTS
+		WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+		             WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80);
+	`, engine.Options{Strategy: engine.TransformJA2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, res, "(10)", "(8)")
+}
+
+func TestExecDeleteAndUpdate(t *testing.T) {
+	db := engine.New(8)
+	if _, err := db.Exec(`
+		CREATE TABLE T (K INT, V INT);
+		INSERT INTO T VALUES (1, 10), (2, 20), (3, 30), (4, 40);
+		DELETE FROM T WHERE V >= 30;
+		UPDATE T SET V = 99 WHERE K = 1;
+	`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT K, V FROM T ORDER BY K", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedRows(res); got != "(1, 99) (2, 20)" {
+		t.Errorf("after DML = %v", got)
+	}
+}
+
+// DELETE and UPDATE WHERE clauses support nested subqueries, including
+// correlated ones over the target table itself (evaluated against the
+// pre-statement state, per SQL semantics).
+func TestExecDMLWithSubqueries(t *testing.T) {
+	db := newDB(t, 8, workload.LoadKiessling)
+	if _, err := db.Exec(`
+		DELETE FROM PARTS
+		WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+		             WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)
+	`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT PNUM FROM PARTS ORDER BY PNUM", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q2 matched {10, 8}; only part 3 survives.
+	if got := sortedRows(res); got != "(3)" {
+		t.Errorf("after subquery DELETE = %v", got)
+	}
+
+	// Self-referencing UPDATE: bump the max-QOH row.
+	if _, err := db.Exec(`
+		CREATE TABLE U (K INT, V INT);
+		INSERT INTO U VALUES (1, 5), (2, 9), (3, 7);
+		UPDATE U SET V = 0 WHERE V = (SELECT MAX(V) FROM U);
+	`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec("SELECT K, V FROM U ORDER BY K", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedRows(res); got != "(1, 5) (2, 0) (3, 7)" {
+		t.Errorf("self-referencing UPDATE = %v", got)
+	}
+}
+
+func TestExecDMLErrors(t *testing.T) {
+	db := engine.New(8)
+	if _, err := db.Exec("DELETE FROM NOPE", engine.Options{}); err == nil {
+		t.Error("unknown table in DELETE")
+	}
+	if _, err := db.Exec(`
+		CREATE TABLE T (K INT);
+		UPDATE T SET NOPE = 1;
+	`, engine.Options{}); err == nil {
+		t.Error("unknown column in SET")
+	}
+	if _, err := db.Exec("UPDATE T SET K = 'x'", engine.Options{}); err == nil {
+		t.Error("type mismatch in SET")
+	}
+	if _, err := db.Exec("DELETE FROM T WHERE NOPE = 1", engine.Options{}); err == nil {
+		t.Error("unknown column in DELETE WHERE")
+	}
+}
+
+func TestExecDMLInvalidatesIndexes(t *testing.T) {
+	db := engine.New(8)
+	if _, err := db.Exec(`
+		CREATE TABLE T (K INT, V INT);
+		INSERT INTO T VALUES (1, 10), (2, 20);
+	`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("T", "K"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM T WHERE K = 1", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Indexes().On("T", "K") != nil {
+		t.Error("index survived DELETE")
+	}
+}

@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	db := newDB(t, 8, workload.LoadKiessling)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := engine.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same buffer pool size.
+	if restored.Store().BufferPages() != 8 {
+		t.Errorf("buffer pages = %d", restored.Store().BufferPages())
+	}
+	// Same query results, including NULL/date round-trips.
+	for _, sql := range []string{
+		workload.KiesslingQ2,
+		"SELECT PNUM, QUAN, SHIPDATE FROM SUPPLY ORDER BY PNUM, QUAN",
+	} {
+		a := query(t, db, sql, engine.Options{Strategy: engine.TransformJA2})
+		b := query(t, restored, sql, engine.Options{Strategy: engine.TransformJA2})
+		if sortedRows(a) != sortedRows(b) {
+			t.Errorf("%q: restored results differ:\n  %v\n  %v", sql, sortedRows(a), sortedRows(b))
+		}
+	}
+	// Same page shapes (cost measurements reproduce).
+	orig, _ := db.Store().Lookup("SUPPLY")
+	rest, _ := restored.Store().Lookup("SUPPLY")
+	if orig.NumPages() != rest.NumPages() || orig.NumTuples() != rest.NumTuples() {
+		t.Errorf("SUPPLY shape: %d/%d pages, %d/%d tuples",
+			orig.NumPages(), rest.NumPages(), orig.NumTuples(), rest.NumTuples())
+	}
+	// Keys survive.
+	db2 := newDB(t, 8, workload.LoadSuppliers)
+	buf.Reset()
+	if err := db2.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored2, err := engine.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := restored2.Catalog().Lookup("S")
+	if !s.IsKey("SNO") {
+		t.Error("key lost in round trip")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := engine.Restore(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	buf.WriteString("\x00\x01\x02")
+	if _, err := engine.Restore(&buf); err == nil {
+		t.Error("binary garbage accepted")
+	}
+}
+
+func TestSaveRestoreWithNullsAndFloats(t *testing.T) {
+	db := engine.New(4)
+	if _, err := db.Exec(`
+		CREATE TABLE T (A INT, B FLOAT, C VARCHAR(10), D DATE);
+		INSERT INTO T VALUES (1, 2.5, 'x', 7-3-79), (NULL, NULL, NULL, NULL);
+	`, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := engine.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := query(t, db, "SELECT A, B, C, D FROM T", engine.Options{})
+	b := query(t, restored, "SELECT A, B, C, D FROM T", engine.Options{})
+	if sortedRows(a) != sortedRows(b) {
+		t.Errorf("round trip:\n  %v\n  %v", sortedRows(a), sortedRows(b))
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a physical operator tree as an indented outline, the
+// EXPLAIN view of a compiled plan.
+func Describe(op Operator) string {
+	var b strings.Builder
+	describe(&b, op, "")
+	return b.String()
+}
+
+func describe(b *strings.Builder, op Operator, indent string) {
+	b.WriteString(indent)
+	child := indent + "  "
+	switch op := op.(type) {
+	case *SeqScan:
+		fmt.Fprintf(b, "SeqScan(%s, %d pages)\n", op.File.Name(), op.File.NumPages())
+	case *IndexScan:
+		fmt.Fprintf(b, "IndexScan(%s.%s %s %s)\n", op.Idx.Relation, op.Idx.Column, op.Op, op.Key)
+	case *Filter:
+		b.WriteString("Filter\n")
+		describe(b, op.Child, child)
+	case *Project:
+		fmt.Fprintf(b, "Project(%s)\n", op.Sch)
+		describe(b, op.Child, child)
+	case *Distinct:
+		b.WriteString("Distinct\n")
+		describe(b, op.Child, child)
+	case *Sort:
+		dirs := ""
+		if op.Desc != nil {
+			dirs = " desc-mixed"
+		}
+		fmt.Fprintf(b, "Sort(keys=%v%s)\n", op.Keys, dirs)
+		describe(b, op.Child, child)
+	case *MergeJoin:
+		kind := "MergeJoin"
+		if op.Outer {
+			kind = "OuterMergeJoin"
+		}
+		fmt.Fprintf(b, "%s(left#%d = right#%d)\n", kind, op.LeftKey, op.RightKey)
+		describe(b, op.Left, child)
+		describe(b, op.Right, child)
+	case *NestedLoopJoin:
+		kind := "NestedLoopJoin"
+		if op.Outer {
+			kind = "OuterNestedLoopJoin"
+		}
+		fmt.Fprintf(b, "%s(right=%s, %d pages)\n", kind, op.Right.Name(), op.Right.NumPages())
+		describe(b, op.Left, child)
+	case *GroupAgg:
+		items := make([]string, len(op.Items))
+		for i, it := range op.Items {
+			if it.Agg == 0 {
+				items[i] = it.Out.String()
+			} else {
+				items[i] = fmt.Sprintf("%s#%d", it.Agg, it.Col)
+			}
+		}
+		fmt.Fprintf(b, "GroupAgg(group=%v, out=[%s])\n", op.GroupCols, strings.Join(items, ", "))
+		describe(b, op.Child, child)
+	default:
+		fmt.Fprintf(b, "%T\n", op)
+	}
+}

@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// GroupItem describes one output of a GroupAgg: either a grouping column
+// passed through, or an aggregate over a child column.
+type GroupItem struct {
+	Agg value.AggFunc // AggNone for a grouping column
+	Col int           // child column position; ignored for AggCountStar
+	Out ColID         // output column identity
+}
+
+// GroupAgg implements GROUP BY aggregation over an input sorted on the
+// grouping columns — the paper's temp tables are created with the GROUP BY
+// column being the join/sort column, so no extra sort is needed (section
+// 7.2). On a group-key change it emits the finished group.
+//
+// With no grouping columns it is a global aggregate, emitting exactly one
+// row even over empty input (COUNT = 0, MAX = NULL) — the nested-iteration
+// semantics that NEST-JA loses and NEST-JA2 restores.
+type GroupAgg struct {
+	Child Operator
+	// GroupCols are child column positions forming the group key, in the
+	// child's sort order.
+	GroupCols []int
+	Items     []GroupItem
+
+	sch     RowSchema
+	curKey  []value.Value
+	accs    []*value.Accumulator
+	started bool
+	eof     bool
+	emitted bool // at least one group emitted (for the global empty case)
+}
+
+// Open prepares the child.
+func (g *GroupAgg) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	g.sch = make(RowSchema, len(g.Items))
+	for i, it := range g.Items {
+		g.sch[i] = it.Out
+	}
+	g.curKey, g.accs = nil, nil
+	g.started, g.eof, g.emitted = false, false, false
+	return nil
+}
+
+func (g *GroupAgg) newAccs() []*value.Accumulator {
+	accs := make([]*value.Accumulator, len(g.Items))
+	for i, it := range g.Items {
+		if it.Agg != value.AggNone {
+			accs[i] = value.NewAccumulator(it.Agg)
+		}
+	}
+	return accs
+}
+
+func (g *GroupAgg) accumulate(t storage.Tuple) error {
+	for i, it := range g.Items {
+		if it.Agg == value.AggNone {
+			continue
+		}
+		v := value.NewInt(1)
+		if it.Agg != value.AggCountStar {
+			v = t[it.Col]
+		}
+		if err := g.accs[i].Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *GroupAgg) emit() storage.Tuple {
+	g.emitted = true
+	out := make(storage.Tuple, len(g.Items))
+	for i, it := range g.Items {
+		if it.Agg == value.AggNone {
+			// A grouping column: constant within the group.
+			for j, gc := range g.GroupCols {
+				if gc == it.Col {
+					out[i] = g.curKey[j]
+					break
+				}
+			}
+		} else {
+			out[i] = g.accs[i].Result()
+		}
+	}
+	return out
+}
+
+func (g *GroupAgg) keyOf(t storage.Tuple) []value.Value {
+	key := make([]value.Value, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		key[i] = t[c]
+	}
+	return key
+}
+
+func sameKey(a, b []value.Value) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next emits one group per call.
+func (g *GroupAgg) Next() (storage.Tuple, bool, error) {
+	if g.eof {
+		return nil, false, nil
+	}
+	for {
+		t, ok, err := g.Child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.eof = true
+			if g.started {
+				return g.emit(), true, nil
+			}
+			if len(g.GroupCols) == 0 && !g.emitted {
+				// Global aggregate over empty input.
+				g.curKey, g.accs = nil, g.newAccs()
+				return g.emit(), true, nil
+			}
+			return nil, false, nil
+		}
+		key := g.keyOf(t)
+		if !g.started {
+			g.started = true
+			g.curKey, g.accs = key, g.newAccs()
+			if err := g.accumulate(t); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if sameKey(g.curKey, key) {
+			if err := g.accumulate(t); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Group boundary: emit the finished group, start the new one.
+		out := g.emit()
+		g.curKey, g.accs = key, g.newAccs()
+		if err := g.accumulate(t); err != nil {
+			return nil, false, err
+		}
+		return out, true, nil
+	}
+}
+
+// Close closes the child.
+func (g *GroupAgg) Close() error { return g.Child.Close() }
+
+// Schema lists the configured output columns.
+func (g *GroupAgg) Schema() RowSchema {
+	if g.sch == nil {
+		sch := make(RowSchema, len(g.Items))
+		for i, it := range g.Items {
+			sch[i] = it.Out
+		}
+		return sch
+	}
+	return g.sch
+}

@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// IndexScan reads the tuples of a relation matching `column op key`
+// through a secondary index: the covering index pages are charged on Open
+// and base pages are fetched through the buffer pool in key order, so the
+// output is sorted on the indexed column — a scan that can feed a merge
+// join or a GROUP BY without an extra sort.
+type IndexScan struct {
+	Idx *index.Index
+	Sch RowSchema
+	Op  value.CompareOp
+	Key value.Value
+
+	cur *index.Cursor
+}
+
+// Open positions the cursor (charging index page reads).
+func (s *IndexScan) Open() error {
+	cur, ok := s.Idx.Lookup(s.Op, s.Key)
+	if !ok {
+		// The planner only builds IndexScan for supported operators;
+		// an unsupported lookup yields an empty scan.
+		s.cur = nil
+		return nil
+	}
+	s.cur = cur
+	return nil
+}
+
+// Next returns the next matching tuple in indexed-column order.
+func (s *IndexScan) Next() (storage.Tuple, bool, error) {
+	if s.cur == nil {
+		return nil, false, nil
+	}
+	t, ok := s.cur.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	return t, true, nil
+}
+
+// Close releases nothing; cursors hold no resources.
+func (s *IndexScan) Close() error { return nil }
+
+// Schema returns the relation's column bindings.
+func (s *IndexScan) Schema() RowSchema { return s.Sch }

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// MergeJoin is a sort-merge equality join over children sorted on the join
+// keys. With Outer set it is the left outer merge join of section 5.2: the
+// paper notes its cost function is "identical to that for a standard join,
+// since the two relations are scanned in sorted order, and no extra cost is
+// involved in determining which tuples have no matching tuples".
+//
+// Rows whose join key is NULL match nothing; under Outer they are emitted
+// NULL-padded, preserving every left row as the =+ operator requires.
+type MergeJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey int
+	Outer             bool
+
+	sch        RowSchema
+	rightWidth int
+
+	cur      storage.Tuple   // current left row, nil when exhausted/consumed
+	group    []storage.Tuple // right rows matching groupKey
+	groupKey value.Value
+	groupSet bool
+	gi       int
+
+	pendRight storage.Tuple // lookahead right row
+	rightEOF  bool
+}
+
+// Open prepares both children.
+func (m *MergeJoin) Open() error {
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	if err := m.Right.Open(); err != nil {
+		return err
+	}
+	m.sch = m.Left.Schema().Concat(m.Right.Schema())
+	m.rightWidth = len(m.Right.Schema())
+	m.cur, m.group, m.groupSet, m.gi = nil, nil, false, 0
+	m.pendRight, m.rightEOF = nil, false
+	return nil
+}
+
+func (m *MergeJoin) nextRight() (storage.Tuple, bool, error) {
+	if m.pendRight != nil {
+		t := m.pendRight
+		m.pendRight = nil
+		return t, true, nil
+	}
+	if m.rightEOF {
+		return nil, false, nil
+	}
+	t, ok, err := m.Right.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		m.rightEOF = true
+		return nil, false, nil
+	}
+	return t, true, nil
+}
+
+// loadGroup positions the right side at key and buffers the rows equal to
+// it. The buffered group is reused for consecutive left rows with the same
+// key (duplicate outer values).
+func (m *MergeJoin) loadGroup(key value.Value) error {
+	if m.groupSet && m.groupKey.Equal(key) {
+		return nil
+	}
+	m.group = m.group[:0]
+	m.groupKey, m.groupSet = key, true
+	for {
+		t, ok, err := m.nextRight()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rk := t[m.RightKey]
+		if rk.IsNull() || value.SortLess(rk, key) {
+			continue // NULL keys and smaller keys can never match again
+		}
+		if value.SortLess(key, rk) {
+			m.pendRight = t // beyond the group; keep for the next key
+			return nil
+		}
+		m.group = append(m.group, t)
+	}
+}
+
+func (m *MergeJoin) padRight(left storage.Tuple) storage.Tuple {
+	out := make(storage.Tuple, 0, len(left)+m.rightWidth)
+	out = append(out, left...)
+	for range m.rightWidth {
+		out = append(out, value.Null)
+	}
+	return out
+}
+
+// Next produces the next joined row.
+func (m *MergeJoin) Next() (storage.Tuple, bool, error) {
+	for {
+		if m.cur == nil {
+			t, ok, err := m.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			m.cur, m.gi = t, 0
+		}
+		key := m.cur[m.LeftKey]
+		if key.IsNull() {
+			left := m.cur
+			m.cur = nil
+			if m.Outer {
+				return m.padRight(left), true, nil
+			}
+			continue
+		}
+		if err := m.loadGroup(key); err != nil {
+			return nil, false, err
+		}
+		if len(m.group) == 0 {
+			left := m.cur
+			m.cur = nil
+			if m.Outer {
+				return m.padRight(left), true, nil
+			}
+			continue
+		}
+		out := make(storage.Tuple, 0, len(m.cur)+m.rightWidth)
+		out = append(out, m.cur...)
+		out = append(out, m.group[m.gi]...)
+		m.gi++
+		if m.gi == len(m.group) {
+			m.cur = nil
+		}
+		return out, true, nil
+	}
+}
+
+// Close closes both children.
+func (m *MergeJoin) Close() error {
+	err := m.Left.Close()
+	if err2 := m.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Schema is the concatenation of the children's schemas.
+func (m *MergeJoin) Schema() RowSchema {
+	if m.sch == nil {
+		return m.Left.Schema().Concat(m.Right.Schema())
+	}
+	return m.sch
+}
+
+// NestedLoopJoin joins a streamed left side against a stored right side,
+// re-scanning the right heap file once per left row through the buffer
+// pool: if the right side fits in B−1 pages it is effectively read once
+// (the favorable case of section 7.2), otherwise every left row pays a
+// full re-read (the Nt2·Pt3 term).
+//
+// The join predicate is arbitrary, which is how NEST-JA2 builds temporary
+// tables for non-equality correlated operators (section 5.3.1: SUPPLY.PNUM
+// < PARTS.PNUM). With Outer set, left rows with no match are emitted
+// NULL-padded — the outer theta-join used when the aggregate is COUNT and
+// the operator is not equality.
+type NestedLoopJoin struct {
+	Left     Operator
+	Right    *storage.HeapFile
+	RightSch RowSchema
+	// Pred sees the concatenated (left ++ right) row.
+	Pred  RowPred
+	Outer bool
+
+	cur     storage.Tuple
+	matched bool
+	pageIdx int
+	tuples  []storage.Tuple
+	tupIdx  int
+	sch     RowSchema
+}
+
+// Open prepares the left child.
+func (n *NestedLoopJoin) Open() error {
+	if err := n.Left.Open(); err != nil {
+		return err
+	}
+	n.sch = n.Left.Schema().Concat(n.RightSch)
+	n.cur = nil
+	return nil
+}
+
+// Next produces the next joined row.
+func (n *NestedLoopJoin) Next() (storage.Tuple, bool, error) {
+	for {
+		if n.cur == nil {
+			t, ok, err := n.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.cur, n.matched = t, false
+			n.pageIdx, n.tupIdx, n.tuples = 0, 0, nil
+		}
+		for {
+			for n.tupIdx >= len(n.tuples) {
+				if n.pageIdx >= n.Right.NumPages() {
+					n.tuples = nil
+					goto rightDone
+				}
+				n.tuples = n.Right.ReadPage(n.pageIdx)
+				n.pageIdx++
+				n.tupIdx = 0
+			}
+			r := n.tuples[n.tupIdx]
+			n.tupIdx++
+			out := make(storage.Tuple, 0, len(n.cur)+len(r))
+			out = append(out, n.cur...)
+			out = append(out, r...)
+			tri, err := n.Pred(out)
+			if err != nil {
+				return nil, false, err
+			}
+			if tri.IsTrue() {
+				n.matched = true
+				return out, true, nil
+			}
+		}
+	rightDone:
+		left, matched := n.cur, n.matched
+		n.cur = nil
+		if n.Outer && !matched {
+			out := make(storage.Tuple, 0, len(left)+len(n.RightSch))
+			out = append(out, left...)
+			for range n.RightSch {
+				out = append(out, value.Null)
+			}
+			return out, true, nil
+		}
+	}
+}
+
+// Close closes the left child.
+func (n *NestedLoopJoin) Close() error { return n.Left.Close() }
+
+// Schema is the concatenation of left and right schemas.
+func (n *NestedLoopJoin) Schema() RowSchema {
+	if n.sch == nil {
+		return n.Left.Schema().Concat(n.RightSch)
+	}
+	return n.sch
+}

@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Operator is a pull-based physical operator (the iterator model of
+// System R). Open prepares state, Next produces one row at a time, Close
+// releases resources. Schema describes the rows Next yields.
+type Operator interface {
+	Open() error
+	Next() (storage.Tuple, bool, error)
+	Close() error
+	Schema() RowSchema
+}
+
+// SeqScan reads a heap file in sequential page order through the buffer
+// pool.
+type SeqScan struct {
+	File *storage.HeapFile
+	Sch  RowSchema
+
+	pageIdx int
+	tuples  []storage.Tuple
+	tupIdx  int
+}
+
+// NewSeqScan builds a scan of file whose columns are bound under binding.
+func NewSeqScan(file *storage.HeapFile, binding string, cols []string) *SeqScan {
+	sch := make(RowSchema, len(cols))
+	for i, c := range cols {
+		sch[i] = ColID{Table: binding, Column: c}
+	}
+	return &SeqScan{File: file, Sch: sch}
+}
+
+// Open resets the scan to the first page.
+func (s *SeqScan) Open() error {
+	s.pageIdx, s.tupIdx, s.tuples = 0, 0, nil
+	return nil
+}
+
+// Next returns the next tuple in file order.
+func (s *SeqScan) Next() (storage.Tuple, bool, error) {
+	for s.tupIdx >= len(s.tuples) {
+		if s.pageIdx >= s.File.NumPages() {
+			return nil, false, nil
+		}
+		s.tuples = s.File.ReadPage(s.pageIdx)
+		s.pageIdx++
+		s.tupIdx = 0
+	}
+	t := s.tuples[s.tupIdx]
+	s.tupIdx++
+	return t, true, nil
+}
+
+// Close releases nothing; scans hold no resources.
+func (s *SeqScan) Close() error { return nil }
+
+// Schema returns the scan's column bindings.
+func (s *SeqScan) Schema() RowSchema { return s.Sch }
+
+// RowPred is a compiled predicate over positional rows.
+type RowPred func(storage.Tuple) (value.Tri, error)
+
+// Filter passes through rows for which the predicate is definitely true.
+type Filter struct {
+	Child Operator
+	Pred  RowPred
+}
+
+func (f *Filter) Open() error { return f.Child.Open() }
+
+func (f *Filter) Next() (storage.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		tri, err := f.Pred(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if tri.IsTrue() {
+			return t, true, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error      { return f.Child.Close() }
+func (f *Filter) Schema() RowSchema { return f.Child.Schema() }
+
+// Project emits selected columns of its child, optionally renaming them.
+type Project struct {
+	Child Operator
+	Cols  []int
+	Sch   RowSchema
+}
+
+// NewProject builds a projection of the given child columns. Output names
+// default to the child's; name overrides apply per position when non-empty.
+func NewProject(child Operator, cols []int, names []ColID) *Project {
+	childSch := child.Schema()
+	sch := make(RowSchema, len(cols))
+	for i, c := range cols {
+		if names != nil && names[i] != (ColID{}) {
+			sch[i] = names[i]
+		} else {
+			sch[i] = childSch[c]
+		}
+	}
+	return &Project{Child: child, Cols: cols, Sch: sch}
+}
+
+func (p *Project) Open() error { return p.Child.Open() }
+
+func (p *Project) Next() (storage.Tuple, bool, error) {
+	t, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(storage.Tuple, len(p.Cols))
+	for i, c := range p.Cols {
+		out[i] = t[c]
+	}
+	return out, true, nil
+}
+
+func (p *Project) Close() error      { return p.Child.Close() }
+func (p *Project) Schema() RowSchema { return p.Sch }
+
+// Distinct removes duplicates from a sorted input by comparing adjacent
+// rows; NULL compares equal to NULL, matching SQL DISTINCT. The planner
+// always places it above a Sort on all columns — the paper eliminates
+// duplicates with a (B−1)-way merge sort (section 7.1).
+type Distinct struct {
+	Child Operator
+	prev  storage.Tuple
+}
+
+func (d *Distinct) Open() error {
+	d.prev = nil
+	return d.Child.Open()
+}
+
+func (d *Distinct) Next() (storage.Tuple, bool, error) {
+	for {
+		t, ok, err := d.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if d.prev != nil && tuplesEqual(d.prev, t) {
+			continue
+		}
+		d.prev = t
+		return t, true, nil
+	}
+}
+
+func (d *Distinct) Close() error      { return d.Child.Close() }
+func (d *Distinct) Schema() RowSchema { return d.Child.Schema() }
+
+func tuplesEqual(a, b storage.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize drains an operator into a new temporary heap file, counting
+// the writes — the +Pt terms of the paper's cost formulas.
+func Materialize(op Operator, store *storage.Store, tuplesPerPage int) (*storage.HeapFile, error) {
+	f := store.CreateTemp(tuplesPerPage)
+	if err := MaterializeInto(op, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MaterializeInto drains an operator into an existing (empty) heap file
+// and seals it.
+func MaterializeInto(op Operator, f *storage.HeapFile) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		f.Append(t)
+	}
+	f.Seal()
+	return nil
+}
+
+// Drain runs an operator to completion collecting all rows (used by the
+// engine to produce final results and by tests).
+func Drain(op Operator) ([]storage.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []storage.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, t)
+	}
+}
+
+// CompileConjuncts compiles simple (non-nested) conjuncts against a row
+// schema into a single RowPred evaluating their three-valued conjunction.
+// Disjunctions and negations over simple comparisons compile too; nested
+// subqueries do not (the planner never passes them).
+func CompileConjuncts(preds []ast.Predicate, sch RowSchema) (RowPred, error) {
+	compiled := make([]RowPred, len(preds))
+	for i, p := range preds {
+		c, err := compilePred(p, sch)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+	return func(t storage.Tuple) (value.Tri, error) {
+		out := value.True
+		for _, p := range compiled {
+			tri, err := p(t)
+			if err != nil {
+				return value.Unknown, err
+			}
+			out = out.And(tri)
+			if out == value.False {
+				return out, nil
+			}
+		}
+		return out, nil
+	}, nil
+}
+
+func compilePred(p ast.Predicate, sch RowSchema) (RowPred, error) {
+	switch p := p.(type) {
+	case *ast.Comparison:
+		if p.LeftOuter {
+			return nil, fmt.Errorf("exec: outer-join predicate %s cannot be a filter", p)
+		}
+		l, err := compileExpr(p.Left, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(p.Right, sch)
+		if err != nil {
+			return nil, err
+		}
+		op := p.Op
+		return func(t storage.Tuple) (value.Tri, error) {
+			return op.Apply(l(t), r(t))
+		}, nil
+	case *ast.OrPred:
+		l, err := compilePred(p.Left, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(p.Right, sch)
+		if err != nil {
+			return nil, err
+		}
+		return func(t storage.Tuple) (value.Tri, error) {
+			lt, err := l(t)
+			if err != nil {
+				return value.Unknown, err
+			}
+			rt, err := r(t)
+			if err != nil {
+				return value.Unknown, err
+			}
+			return lt.Or(rt), nil
+		}, nil
+	case *ast.AndPred:
+		return CompileConjuncts([]ast.Predicate{p.Left, p.Right}, sch)
+	case *ast.NotPred:
+		inner, err := compilePred(p.P, sch)
+		if err != nil {
+			return nil, err
+		}
+		return func(t storage.Tuple) (value.Tri, error) {
+			tri, err := inner(t)
+			return tri.Not(), err
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot compile predicate %s into a plan", p)
+	}
+}
+
+func compileExpr(e ast.Expr, sch RowSchema) (func(storage.Tuple) value.Value, error) {
+	switch e := e.(type) {
+	case ast.ColumnRef:
+		i := sch.Index(e)
+		if i < 0 {
+			return nil, errUnknownColumn(e)
+		}
+		return func(t storage.Tuple) value.Value { return t[i] }, nil
+	case ast.Const:
+		v := e.Val
+		return func(storage.Tuple) value.Value { return v }, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot compile expression %s into a plan", e)
+	}
+}

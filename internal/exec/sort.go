@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Sort is an external (B−1)-way merge sort, the sorting method of the
+// paper's cost model (section 7): initial runs of B pages are formed in
+// memory, then merged B−1 at a time, costing about 2·P·log_{B−1}(P) page
+// I/Os for a P-page input. Run files bypass the buffer pool — the sorter
+// owns its buffers — so measured I/O follows the model rather than LRU
+// caching. An input that fits entirely in B pages sorts in memory with no
+// I/O beyond the child's own reads.
+//
+// NULLs sort first and compare equal to each other, so a Sort feeds both
+// Distinct and GroupAgg directly.
+type Sort struct {
+	Child Operator
+	// Keys are child column positions ordered by significance. Remaining
+	// columns do not participate in the order.
+	Keys []int
+	// Desc flips the direction per key (nil = all ascending).
+	Desc []bool
+	// Store provides temp run files; TuplesPerPage sizes their pages
+	// (callers pass the source relation's page capacity so run pages
+	// match the cost model's page counts).
+	Store         *storage.Store
+	TuplesPerPage int
+
+	mem     []storage.Tuple     // in-memory result when input fits in B pages
+	runFile *storage.HeapFile   // final run otherwise
+	runs    []*storage.HeapFile // intermediate runs pending cleanup
+	pos     int                 // cursor into mem
+	pageIdx int                 // cursor into runFile
+	tuples  []storage.Tuple
+	tupIdx  int
+}
+
+func (s *Sort) less(a, b storage.Tuple) bool {
+	for i, k := range s.Keys {
+		if c := value.SortCompare(a[k], b[k]); c != 0 {
+			if s.Desc != nil && s.Desc[i] {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+// Open drains the child, forms sorted runs, and merges them down to one.
+func (s *Sort) Open() error {
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	defer s.Child.Close()
+	s.mem, s.runFile, s.runs = nil, nil, nil
+	s.pos, s.pageIdx, s.tupIdx, s.tuples = 0, 0, 0, nil
+
+	tpp := s.TuplesPerPage
+	if tpp <= 0 {
+		tpp = storage.DefaultTuplesPerPage
+	}
+	b := s.Store.BufferPages()
+	if b < 3 {
+		b = 3 // a merge sort needs at least two inputs and one output frame
+	}
+	runCap := b * tpp
+
+	var buf []storage.Tuple
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		f := s.Store.CreateTemp(tpp)
+		for _, t := range buf {
+			f.Append(t)
+		}
+		f.Seal()
+		// Run pages were just produced in memory; the writes above are
+		// their cost. Reads during merging use ReadPageDirect.
+		s.runs = append(s.runs, f)
+		buf = nil
+	}
+
+	for {
+		t, ok, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, t)
+		if len(buf) == runCap {
+			flush()
+		}
+	}
+	if len(s.runs) == 0 {
+		// Entire input fits in the sort's memory: no run I/O.
+		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		s.mem = buf
+		return nil
+	}
+	flush()
+
+	// Merge passes, B-1 runs at a time.
+	for len(s.runs) > 1 {
+		var next []*storage.HeapFile
+		for i := 0; i < len(s.runs); i += b - 1 {
+			j := min(i+b-1, len(s.runs))
+			merged := s.mergeRuns(s.runs[i:j], tpp)
+			next = append(next, merged)
+		}
+		for _, r := range s.runs {
+			found := false
+			for _, n := range next {
+				if n == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				s.Store.Drop(r.Name())
+			}
+		}
+		s.runs = next
+	}
+	s.runFile = s.runs[0]
+	return nil
+}
+
+// runCursor reads one run sequentially with direct (always-counted) I/O.
+type runCursor struct {
+	file    *storage.HeapFile
+	pageIdx int
+	tuples  []storage.Tuple
+	tupIdx  int
+	cur     storage.Tuple
+	done    bool
+}
+
+func (c *runCursor) advance() {
+	for c.tupIdx >= len(c.tuples) {
+		if c.pageIdx >= c.file.NumPages() {
+			c.cur, c.done = nil, true
+			return
+		}
+		c.tuples = c.file.ReadPageDirect(c.pageIdx)
+		c.pageIdx++
+		c.tupIdx = 0
+	}
+	c.cur = c.tuples[c.tupIdx]
+	c.tupIdx++
+}
+
+// mergeRuns merges sorted runs into a single new run.
+func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) *storage.HeapFile {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	cursors := make([]*runCursor, len(runs))
+	for i, r := range runs {
+		cursors[i] = &runCursor{file: r}
+		cursors[i].advance()
+	}
+	out := s.Store.CreateTemp(tpp)
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.done {
+				continue
+			}
+			if best < 0 || s.less(c.cur, cursors[best].cur) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out.Append(cursors[best].cur)
+		cursors[best].advance()
+	}
+	out.Seal()
+	return out
+}
+
+// Next streams the sorted rows.
+func (s *Sort) Next() (storage.Tuple, bool, error) {
+	if s.runFile == nil {
+		if s.pos >= len(s.mem) {
+			return nil, false, nil
+		}
+		t := s.mem[s.pos]
+		s.pos++
+		return t, true, nil
+	}
+	for s.tupIdx >= len(s.tuples) {
+		if s.pageIdx >= s.runFile.NumPages() {
+			return nil, false, nil
+		}
+		s.tuples = s.runFile.ReadPageDirect(s.pageIdx)
+		s.pageIdx++
+		s.tupIdx = 0
+	}
+	t := s.tuples[s.tupIdx]
+	s.tupIdx++
+	return t, true, nil
+}
+
+// Close drops the remaining run file.
+func (s *Sort) Close() error {
+	for _, r := range s.runs {
+		s.Store.Drop(r.Name())
+	}
+	s.runs, s.runFile, s.mem = nil, nil, nil
+	return nil
+}
+
+// Schema returns the child's schema; sorting does not change columns.
+func (s *Sort) Schema() RowSchema { return s.Child.Schema() }

@@ -1,0 +1,154 @@
+package index_test
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// buildFixture loads a 2-column file with keys k%10 and positions, plus a
+// NULL-keyed row, and indexes column 0.
+func buildFixture(t *testing.T, n int) (*storage.Store, *index.Index) {
+	t.Helper()
+	s := storage.NewStore(8)
+	f, err := s.Create("R", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range n {
+		f.Append(storage.Tuple{value.NewInt(int64(k % 10)), value.NewInt(int64(k))})
+	}
+	f.Append(storage.Tuple{value.Null, value.NewInt(-1)})
+	f.Seal()
+	return s, index.Build(s, f, "R", "K", 0)
+}
+
+func lookupKeys(t *testing.T, idx *index.Index, op value.CompareOp, key int64) []int64 {
+	t.Helper()
+	cur, ok := idx.Lookup(op, value.NewInt(key))
+	if !ok {
+		t.Fatalf("Lookup(%v, %d) unsupported", op, key)
+	}
+	var out []int64
+	for {
+		tu, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tu[0].Int())
+	}
+}
+
+func TestBuildExcludesNulls(t *testing.T) {
+	_, idx := buildFixture(t, 40)
+	if idx.Entries() != 40 {
+		t.Errorf("entries = %d, want 40 (NULL key excluded)", idx.Entries())
+	}
+	if idx.Pages() != (40+15)/16 { // 4 tuples/page * factor 4
+		t.Errorf("index pages = %d", idx.Pages())
+	}
+}
+
+func TestLookupOperators(t *testing.T) {
+	_, idx := buildFixture(t, 40) // keys 0..9, four of each
+	cases := []struct {
+		op   value.CompareOp
+		key  int64
+		want int
+	}{
+		{value.OpEq, 3, 4},
+		{value.OpLt, 3, 12},
+		{value.OpLe, 3, 16},
+		{value.OpGt, 7, 8},
+		{value.OpGe, 7, 12},
+		{value.OpEq, 99, 0},
+	}
+	for _, c := range cases {
+		got := lookupKeys(t, idx, c.op, c.key)
+		if len(got) != c.want {
+			t.Errorf("%v %d: %d matches, want %d", c.op, c.key, len(got), c.want)
+		}
+		for _, k := range got {
+			tri, _ := c.op.Apply(value.NewInt(k), value.NewInt(c.key))
+			if !tri.IsTrue() {
+				t.Errorf("%v %d returned non-matching key %d", c.op, c.key, k)
+			}
+		}
+		// Output is in key order.
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				t.Errorf("%v %d: out of order: %v", c.op, c.key, got)
+			}
+		}
+	}
+}
+
+func TestLookupUnsupported(t *testing.T) {
+	_, idx := buildFixture(t, 10)
+	if _, ok := idx.Lookup(value.OpNe, value.NewInt(1)); ok {
+		t.Error("!= must not use the index")
+	}
+	if _, ok := idx.Lookup(value.OpEq, value.Null); ok {
+		t.Error("NULL key must not use the index")
+	}
+	if _, ok := idx.EstimateMatches(value.OpNe, value.NewInt(1)); ok {
+		t.Error("EstimateMatches must reject !=")
+	}
+}
+
+func TestLookupChargesIndexPages(t *testing.T) {
+	s, idx := buildFixture(t, 160) // 160 entries, 16/page = 10 index pages
+	s.ResetStats()
+	n, _ := idx.EstimateMatches(value.OpGe, value.NewInt(0))
+	if n != 160 {
+		t.Fatalf("estimate = %d", n)
+	}
+	if got := s.Stats().Reads; got != 0 {
+		t.Errorf("EstimateMatches charged %d reads", got)
+	}
+	cur, _ := idx.Lookup(value.OpGe, value.NewInt(0))
+	// 1 descent + ceil((160-1)/16) = 1 + 9 = 10 index page reads.
+	if got := s.Stats().Reads; got != 10 {
+		t.Errorf("index reads = %d, want 10", got)
+	}
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
+	// Base pages fetched through the pool: 41 pages total file.
+	if got := s.Stats().Reads; got < 10+41 {
+		t.Errorf("total reads = %d, want >= 51", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	s, idx := buildFixture(t, 10)
+	_ = s
+	r := index.NewRegistry()
+	if err := r.Add(idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(idx); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if r.On("r", "k") != idx {
+		t.Error("case-insensitive lookup failed")
+	}
+	if r.On("R", "NOPE") != nil {
+		t.Error("unknown column resolved")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "R.K" {
+		t.Errorf("Names = %v", got)
+	}
+	r.DropRelation("r")
+	if r.On("R", "K") != nil {
+		t.Error("DropRelation did not remove index")
+	}
+	var nilReg *index.Registry
+	if nilReg.On("R", "K") != nil {
+		t.Error("nil registry must resolve nothing")
+	}
+}

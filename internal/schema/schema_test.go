@@ -1,0 +1,397 @@
+package schema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+// paperCatalog builds the catalog of the paper's two example databases:
+// the S/P/SP suppliers database of the introduction and the PARTS/SUPPLY
+// database of Kiessling's memo.
+func paperCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	rels := []*schema.Relation{
+		{Name: "S", Columns: []schema.Column{
+			{Name: "SNO", Type: value.KindString},
+			{Name: "SNAME", Type: value.KindString},
+			{Name: "STATUS", Type: value.KindInt},
+			{Name: "CITY", Type: value.KindString},
+		}, Key: []string{"SNO"}},
+		{Name: "P", Columns: []schema.Column{
+			{Name: "PNO", Type: value.KindString},
+			{Name: "PNAME", Type: value.KindString},
+			{Name: "COLOR", Type: value.KindString},
+			{Name: "WEIGHT", Type: value.KindInt},
+			{Name: "CITY", Type: value.KindString},
+		}, Key: []string{"PNO"}},
+		{Name: "SP", Columns: []schema.Column{
+			{Name: "SNO", Type: value.KindString},
+			{Name: "PNO", Type: value.KindString},
+			{Name: "QTY", Type: value.KindInt},
+			{Name: "ORIGIN", Type: value.KindString},
+		}, Key: []string{"SNO", "PNO"}},
+		{Name: "PARTS", Columns: []schema.Column{
+			{Name: "PNUM", Type: value.KindInt},
+			{Name: "QOH", Type: value.KindInt},
+		}},
+		{Name: "SUPPLY", Columns: []schema.Column{
+			{Name: "PNUM", Type: value.KindInt},
+			{Name: "QUAN", Type: value.KindInt},
+			{Name: "SHIPDATE", Type: value.KindDate},
+		}},
+	}
+	for _, r := range rels {
+		if err := cat.Define(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func resolveSQL(t *testing.T, cat *schema.Catalog, src string) (*ast.QueryBlock, []schema.OutputCol, error) {
+	t.Helper()
+	qb, err := sqlparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := schema.Resolve(cat, qb)
+	return qb, out, err
+}
+
+func TestCatalogDefineErrors(t *testing.T) {
+	cat := schema.NewCatalog()
+	ok := &schema.Relation{Name: "R", Columns: []schema.Column{{Name: "X", Type: value.KindInt}}}
+	if err := cat.Define(ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*schema.Relation{
+		{Name: "", Columns: []schema.Column{{Name: "X"}}},
+		{Name: "R", Columns: []schema.Column{{Name: "X"}}},                         // duplicate
+		{Name: "r", Columns: []schema.Column{{Name: "X"}}},                         // duplicate, case-insensitive
+		{Name: "Q", Columns: nil},                                                  // no columns
+		{Name: "Q2", Columns: []schema.Column{{Name: ""}}},                         // unnamed column
+		{Name: "Q3", Columns: []schema.Column{{Name: "A"}, {Name: "a"}}},           // dup column
+		{Name: "Q4", Columns: []schema.Column{{Name: "A"}}, Key: []string{"NOPE"}}, // bad key
+	}
+	for _, r := range cases {
+		if err := cat.Define(r); err == nil {
+			t.Errorf("Define(%+v): expected error", r)
+		}
+	}
+}
+
+func TestCatalogLookupDropNames(t *testing.T) {
+	cat := paperCatalog(t)
+	if _, ok := cat.Lookup("supply"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := cat.Lookup("NOPE"); ok {
+		t.Error("lookup of unknown relation succeeded")
+	}
+	names := cat.Names()
+	want := []string{"P", "PARTS", "S", "SP", "SUPPLY"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("Names = %v", names)
+	}
+	cat.Drop("parts")
+	if _, ok := cat.Lookup("PARTS"); ok {
+		t.Error("Drop did not remove relation")
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	cat := paperCatalog(t)
+	s, _ := cat.Lookup("S")
+	if s.ColumnIndex("sname") != 1 {
+		t.Errorf("ColumnIndex(sname) = %d", s.ColumnIndex("sname"))
+	}
+	if s.ColumnIndex("NOPE") != -1 {
+		t.Error("ColumnIndex of unknown column")
+	}
+	if !s.IsKey("SNO") || s.IsKey("SNAME") {
+		t.Error("IsKey wrong for S")
+	}
+	sp, _ := cat.Lookup("SP")
+	if sp.IsKey("SNO") {
+		t.Error("composite key: single column must not be the key")
+	}
+}
+
+func TestResolveQualifies(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, out, err := resolveSQL(t, cat, "SELECT SNAME FROM S WHERE STATUS > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.Select[0].Col != (ast.ColumnRef{Table: "S", Column: "SNAME"}) {
+		t.Errorf("select col = %+v", qb.Select[0].Col)
+	}
+	cmp := qb.Where[0].(*ast.Comparison)
+	if cmp.Left != (ast.ColumnRef{Table: "S", Column: "STATUS"}) {
+		t.Errorf("where col = %+v", cmp.Left)
+	}
+	if len(out) != 1 || out[0].Name != "SNAME" || out[0].Type != value.KindString {
+		t.Errorf("output = %+v", out)
+	}
+}
+
+func TestResolveAliasAndCase(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, _, err := resolveSQL(t, cat, "SELECT x.sname FROM s x WHERE x.status > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical column name comes from the catalog; binding from the alias.
+	if qb.Select[0].Col != (ast.ColumnRef{Table: "x", Column: "SNAME"}) {
+		t.Errorf("select col = %+v", qb.Select[0].Col)
+	}
+}
+
+func TestResolveCorrelatedReference(t *testing.T) {
+	cat := paperCatalog(t)
+	// Example 4 of the paper: SP.ORIGIN = S.CITY inside the inner block,
+	// where S is bound by the outer block.
+	qb, _, err := resolveSQL(t, cat, `
+		SELECT SNAME FROM S
+		WHERE SNO IS IN (SELECT SNO FROM SP
+		                 WHERE QTY > 100 AND SP.ORIGIN = S.CITY)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := ast.SubqueryOf(qb.Where[0])
+	if inner == nil {
+		t.Fatal("no inner block")
+	}
+	// Unqualified SNO and QTY in the inner block bind to SP (innermost).
+	if inner.Select[0].Col != (ast.ColumnRef{Table: "SP", Column: "SNO"}) {
+		t.Errorf("inner select = %+v", inner.Select[0].Col)
+	}
+	cmp := inner.Where[1].(*ast.Comparison)
+	if cmp.Right != (ast.ColumnRef{Table: "S", Column: "CITY"}) {
+		t.Errorf("correlated ref = %+v", cmp.Right)
+	}
+}
+
+func TestResolveInnermostScopeWins(t *testing.T) {
+	cat := paperCatalog(t)
+	// CITY exists in both S (outer) and P (inner): unqualified CITY inside
+	// the inner block must bind to P.
+	qb, _, err := resolveSQL(t, cat, `
+		SELECT SNAME FROM S
+		WHERE SNO IN (SELECT PNO FROM P WHERE CITY = 'Rome')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := ast.SubqueryOf(qb.Where[0])
+	cmp := inner.Where[0].(*ast.Comparison)
+	if cmp.Left != (ast.ColumnRef{Table: "P", Column: "CITY"}) {
+		t.Errorf("CITY bound to %+v, want P", cmp.Left)
+	}
+}
+
+func TestResolveAmbiguous(t *testing.T) {
+	cat := paperCatalog(t)
+	// SNO is in both S and SP at the same scope level.
+	_, _, err := resolveSQL(t, cat, "SELECT SNO FROM S, SP")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cat := paperCatalog(t)
+	cases := []struct {
+		src, frag string
+	}{
+		{"SELECT X FROM NOPE", "unknown relation"},
+		{"SELECT NOPE FROM S", "unknown column"},
+		{"SELECT S.NOPE FROM S", "no column"},
+		{"SELECT NOPE.SNO FROM S", "unknown table"},
+		{"SELECT SNAME FROM S, S", "duplicate table binding"},
+		{"SELECT SNAME FROM S WHERE STATUS = 'x'", "cannot compare"},
+		{"SELECT SNAME FROM S WHERE SNO IN (SELECT SNO, PNO FROM SP)", "exactly one column"},
+		{"SELECT SNAME FROM S WHERE SNO = (SELECT SNO, PNO FROM SP)", "exactly one column"},
+		{"SELECT SNAME FROM S WHERE SNO < ANY (SELECT SNO, PNO FROM SP)", "exactly one column"},
+		{"SELECT SNAME, MAX(STATUS) FROM S", "must appear in GROUP BY"},
+		{"SELECT SNAME FROM S GROUP BY SNAME", "GROUP BY without an aggregate"},
+		{"SELECT SNO, SNO FROM S, SP WHERE S.SNO = SP.SNO", "ambiguous"},
+		{"SELECT S.SNO, SP.SNO FROM S, SP", "duplicate output column"},
+		{"SELECT SNAME FROM S WHERE SNAME IN (SELECT QTY FROM SP)", "cannot compare"},
+	}
+	for _, c := range cases {
+		_, _, err := resolveSQL(t, cat, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("schema.Resolve(%q): got %v, want error containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestResolveGroupByAggregate(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, out, err := resolveSQL(t, cat,
+		"SELECT PNUM AS SUPPNUM, COUNT(SHIPDATE) AS CT FROM SUPPLY GROUP BY PNUM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.GroupBy[0] != (ast.ColumnRef{Table: "SUPPLY", Column: "PNUM"}) {
+		t.Errorf("GroupBy = %+v", qb.GroupBy)
+	}
+	if out[0].Name != "SUPPNUM" || out[0].Type != value.KindInt {
+		t.Errorf("out[0] = %+v", out[0])
+	}
+	if out[1].Name != "CT" || out[1].Type != value.KindInt {
+		t.Errorf("out[1] = %+v", out[1])
+	}
+}
+
+func TestResolveAggregateResultTypes(t *testing.T) {
+	cat := paperCatalog(t)
+	cases := []struct {
+		src  string
+		want value.Kind
+	}{
+		{"SELECT COUNT(*) FROM SUPPLY", value.KindInt},
+		{"SELECT COUNT(SHIPDATE) FROM SUPPLY", value.KindInt},
+		{"SELECT MAX(SHIPDATE) FROM SUPPLY", value.KindDate},
+		{"SELECT MIN(QUAN) FROM SUPPLY", value.KindInt},
+		{"SELECT SUM(QUAN) FROM SUPPLY", value.KindInt},
+		{"SELECT AVG(QUAN) FROM SUPPLY", value.KindFloat},
+	}
+	for _, c := range cases {
+		_, out, err := resolveSQL(t, cat, c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if out[0].Type != c.want {
+			t.Errorf("%q: type = %v, want %v", c.src, out[0].Type, c.want)
+		}
+	}
+}
+
+func TestResolveDateCoercion(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, _, err := resolveSQL(t, cat, "SELECT PNUM FROM SUPPLY WHERE SHIPDATE < '1-1-80'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := qb.Where[0].(*ast.Comparison).Right.(ast.Const)
+	if c.Val.Kind() != value.KindDate {
+		t.Errorf("quoted date literal not coerced: %v", c.Val)
+	}
+	// Coercion applies on the left side too.
+	qb, _, err = resolveSQL(t, cat, "SELECT PNUM FROM SUPPLY WHERE '1-1-80' > SHIPDATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = qb.Where[0].(*ast.Comparison).Left.(ast.Const)
+	if c.Val.Kind() != value.KindDate {
+		t.Errorf("left-side date literal not coerced: %v", c.Val)
+	}
+}
+
+func TestResolvePaperQueriesAll(t *testing.T) {
+	cat := paperCatalog(t)
+	queries := []string{
+		"SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO = 'P2')",
+		"SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)",
+		"SELECT SNO FROM SP WHERE PNO IS IN (SELECT PNO FROM P WHERE WEIGHT > 50)",
+		"SELECT SNAME FROM S WHERE SNO IS IN (SELECT SNO FROM SP WHERE QTY > 100 AND SP.ORIGIN = S.CITY)",
+		"SELECT PNAME FROM P WHERE PNO = (SELECT MAX(PNO) FROM SP WHERE SP.ORIGIN = P.CITY)",
+		"SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+		"SELECT PNUM FROM PARTS WHERE QOH = (SELECT MAX(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM < PARTS.PNUM AND SHIPDATE < 1-1-80)",
+		"SELECT PNUM FROM PARTS WHERE EXISTS (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
+		"SELECT PNUM FROM PARTS WHERE QOH < ALL (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
+	}
+	for _, src := range queries {
+		if _, _, err := resolveSQL(t, cat, src); err != nil {
+			t.Errorf("schema.Resolve(%q): %v", src, err)
+		}
+	}
+}
+
+func TestResolveOrNotPredicates(t *testing.T) {
+	cat := paperCatalog(t)
+	_, _, err := resolveSQL(t, cat,
+		"SELECT SNAME FROM S WHERE STATUS > 10 OR NOT (CITY = 'Rome' AND STATUS < 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Type errors under OR are still caught.
+	_, _, err = resolveSQL(t, cat, "SELECT SNAME FROM S WHERE STATUS > 10 OR CITY = 5")
+	if err == nil {
+		t.Error("type error under OR not caught")
+	}
+}
+
+func TestResolveOrderBy(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, _, err := resolveSQL(t, cat, "SELECT SNAME, STATUS FROM S ORDER BY STATUS DESC, SNAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.OrderBy[0].Pos != 1 || !qb.OrderBy[0].Desc {
+		t.Errorf("OrderBy[0] = %+v", qb.OrderBy[0])
+	}
+	if qb.OrderBy[1].Pos != 0 || qb.OrderBy[1].Desc {
+		t.Errorf("OrderBy[1] = %+v", qb.OrderBy[1])
+	}
+	// Qualified reference resolves and matches the selected column.
+	qb, _, err = resolveSQL(t, cat, "SELECT S.SNAME FROM S ORDER BY S.SNAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.OrderBy[0].Pos != 0 {
+		t.Errorf("qualified OrderBy = %+v", qb.OrderBy[0])
+	}
+	// Aggregate output by name.
+	qb, _, err = resolveSQL(t, cat, "SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY ORDER BY CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.OrderBy[0].Pos != 1 {
+		t.Errorf("aggregate OrderBy = %+v", qb.OrderBy[0])
+	}
+	// Errors.
+	for _, src := range []string{
+		"SELECT SNAME FROM S ORDER BY STATUS",                                // not selected
+		"SELECT SNAME FROM S ORDER BY NOPE",                                  // unknown
+		"SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP ORDER BY QTY)", // subquery
+	} {
+		if _, _, err := resolveSQL(t, cat, src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestResolveHaving(t *testing.T) {
+	cat := paperCatalog(t)
+	qb, _, err := resolveSQL(t, cat,
+		"SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY HAVING CT > 1 AND CITY != 'Rome'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.Having[0].Pos != 1 || qb.Having[1].Pos != 0 {
+		t.Errorf("Having = %+v", qb.Having)
+	}
+	for _, src := range []string{
+		"SELECT SNAME FROM S HAVING SNAME = 'x'",                             // no aggregate
+		"SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY HAVING NOPE > 1", // unknown output
+		"SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY HAVING S.CT > 1", // qualified
+		"SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY HAVING CT > 'x'", // type clash
+	} {
+		if _, _, err := resolveSQL(t, cat, src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+	// NULL literal is allowed (comparison is just never true).
+	if _, _, err := resolveSQL(t, cat,
+		"SELECT CITY, COUNT(SNO) AS CT FROM S GROUP BY CITY HAVING CT > NULL"); err != nil {
+		t.Errorf("NULL literal: %v", err)
+	}
+}

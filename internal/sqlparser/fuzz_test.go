@@ -1,0 +1,58 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScript asserts the parser never panics and that anything it
+// accepts as a single SELECT statement round-trips: print it, re-parse it,
+// and the second print is identical. Run with `go test -fuzz FuzzParseScript`
+// for coverage-guided exploration; the seed corpus runs as a normal test.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE PNO = 'P2')",
+		"SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)",
+		"CREATE TABLE T (X INT, D DATE, PRIMARY KEY (X)); INSERT INTO T VALUES (1, 7-3-79), (2, NULL)",
+		"UPDATE T SET X = 1 WHERE X NOT IN (SELECT Y FROM U); DELETE FROM T",
+		"SELECT A, COUNT(B) AS C FROM T GROUP BY A HAVING C > 1 ORDER BY A DESC",
+		"SELECT X FROM T WHERE NOT (A = 1 OR B != 2) AND C >= ALL (SELECT D FROM U)",
+		"SELECT X FROM T WHERE A =+ B AND C <+ 1-1-80",
+		"select x from t where y is not in (select z from u) -- comment",
+		"'unterminated",
+		"SELECT 1-2-3-4 FROM",
+		"((((((",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		for _, stmt := range stmts {
+			sel, ok := stmt.(*SelectStmt)
+			if !ok {
+				continue
+			}
+			printed := sel.Query.String()
+			re, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("accepted %q but printed form %q does not re-parse: %v",
+					trim(src), printed, err)
+			}
+			if got := re.String(); got != printed {
+				t.Fatalf("print not stable:\n  first:  %s\n  second: %s", printed, got)
+			}
+		}
+	})
+}
+
+func trim(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "..."
+	}
+	return strings.ToValidUTF8(s, "?")
+}

@@ -1,0 +1,295 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL subset used by the paper "Optimization of Nested SQL Queries
+// Revisited": query blocks (SELECT / FROM / WHERE / GROUP BY) nested to
+// arbitrary depth, the comparison operators including the System R
+// spellings !< and !>, the set predicates IN and IS IN, the section 8
+// extensions EXISTS / NOT EXISTS / ANY / ALL, aggregate functions, DISTINCT,
+// and the paper's unquoted date literals (SHIPDATE < 1-1-80).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokDate
+	tokOp // comparison operator, possibly with outer-join '+' suffix
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokStar
+	tokSemi
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokDate:
+		return "date"
+	case tokOp:
+		return "operator"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokStar:
+		return "'*'"
+	case tokSemi:
+		return "';'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // identifier text, keyword in upper case, operator, or literal text
+	pos  int
+}
+
+// keywords of the dialect. Aggregate function names are ordinary
+// identifiers; the parser recognizes them in call position.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "IS": true, "EXISTS": true, "ANY": true, "ALL": true,
+	"AS": true,
+	// DDL and DML statements.
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "NULL": true,
+	"ORDER": true, "ASC": true, "DESC": true, "HAVING": true,
+	"DELETE": true, "UPDATE": true, "SET": true,
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+
+// errorAt builds a parse error carrying source context.
+func (lx *lexer) errorAt(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(lx.src); i++ {
+		if lx.src[i] == '\n' {
+			line, col = line+1, 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql: %s at line %d column %d", fmt.Sprintf(format, args...), line, col)
+}
+
+// next scans and returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+			continue
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// SQL line comment.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case isLetter(c):
+		for lx.pos < len(lx.src) && (isLetter(lx.src[lx.pos]) || isDigit(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case isDigit(c):
+		return lx.scanNumberOrDate(start)
+	case c == '\'':
+		lx.pos++
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorAt(start, "unterminated string literal")
+			}
+			if lx.src[lx.pos] == '\'' {
+				// '' escapes a quote.
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					b.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				break
+			}
+			b.WriteByte(lx.src[lx.pos])
+			lx.pos++
+		}
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	case c == '(':
+		lx.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		lx.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '*':
+		lx.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == ';':
+		lx.pos++
+		return token{kind: tokSemi, text: ";", pos: start}, nil
+	case c == '=' || c == '<' || c == '>' || c == '!':
+		return lx.scanOperator(start)
+	case c == '-':
+		// Unary minus introducing a negative number literal.
+		if lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
+			lx.pos++
+			tok, err := lx.scanNumberOrDate(lx.pos)
+			if err != nil {
+				return token{}, err
+			}
+			if tok.kind == tokDate {
+				return token{}, lx.errorAt(start, "negative date literal")
+			}
+			tok.text = "-" + tok.text
+			tok.pos = start
+			return tok, nil
+		}
+		return token{}, lx.errorAt(start, "unexpected character %q", string(c))
+	default:
+		return token{}, lx.errorAt(start, "unexpected character %q", string(c))
+	}
+}
+
+// scanNumberOrDate scans a numeric literal, promoting it to a date literal
+// when it matches the paper's unquoted D-D-D or D/D/D date syntax (the
+// dialect has no arithmetic, so 1-1-80 is unambiguous).
+func (lx *lexer) scanNumberOrDate(start int) (token, error) {
+	digits := func() string {
+		s := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return lx.src[s:lx.pos]
+	}
+	first := digits()
+	// Date: first sep second sep third with no intervening spaces.
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == '-' || lx.src[lx.pos] == '/') {
+		sep := lx.src[lx.pos]
+		save := lx.pos
+		lx.pos++
+		second := digits()
+		if second != "" && lx.pos < len(lx.src) && lx.src[lx.pos] == sep {
+			lx.pos++
+			third := digits()
+			if third != "" {
+				text := first + string(sep) + second + string(sep) + third
+				return token{kind: tokDate, text: text, pos: start}, nil
+			}
+		}
+		lx.pos = save
+	}
+	// Fraction part.
+	if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' && isDigit(lx.src[lx.pos+1]) {
+		lx.pos++
+		digits()
+	}
+	return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
+}
+
+// scanOperator scans =, !=, <>, <, <=, >, >=, !<, !>, each optionally
+// followed by '+' for the paper's outer-join operators (=+ and friends,
+// section 5.2).
+func (lx *lexer) scanOperator(start int) (token, error) {
+	two := func(b byte) bool {
+		return lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == b
+	}
+	var op string
+	switch lx.src[lx.pos] {
+	case '=':
+		op = "="
+		lx.pos++
+	case '!':
+		switch {
+		case two('='):
+			op = "!="
+			lx.pos += 2
+		case two('<'):
+			op = ">=" // System R !< means "not less than"
+			lx.pos += 2
+		case two('>'):
+			op = "<=" // System R !> means "not greater than"
+			lx.pos += 2
+		default:
+			return token{}, lx.errorAt(start, "unexpected character %q", "!")
+		}
+	case '<':
+		switch {
+		case two('='):
+			op = "<="
+			lx.pos += 2
+		case two('>'):
+			op = "!="
+			lx.pos += 2
+		default:
+			op = "<"
+			lx.pos++
+		}
+	case '>':
+		if two('=') {
+			op = ">="
+			lx.pos += 2
+		} else {
+			op = ">"
+			lx.pos++
+		}
+	}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '+' {
+		op += "+"
+		lx.pos++
+	}
+	return token{kind: tokOp, text: op, pos: start}, nil
+}

@@ -1,0 +1,424 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Statement is one parsed SQL statement: a query, a table definition, or
+// an insertion.
+type Statement interface {
+	isStatement()
+}
+
+// SelectStmt wraps a query block tree.
+type SelectStmt struct {
+	Query *ast.QueryBlock
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ..., PRIMARY KEY (cols)).
+type CreateTableStmt struct {
+	Relation *schema.Relation
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]value.Value
+}
+
+// DeleteStmt is DELETE FROM name [WHERE ...]. The WHERE clause supports
+// the full dialect, including nested subqueries.
+type DeleteStmt struct {
+	Table string
+	Where []ast.Predicate
+}
+
+// UpdateStmt is UPDATE name SET col = literal [, ...] [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where []ast.Predicate
+}
+
+// SetClause assigns a literal to a column.
+type SetClause struct {
+	Column string
+	Val    value.Value
+}
+
+func (*SelectStmt) isStatement()      {}
+func (*CreateTableStmt) isStatement() {}
+func (*InsertStmt) isStatement()      {}
+func (*DeleteStmt) isStatement()      {}
+func (*UpdateStmt) isStatement()      {}
+
+// ParseStatement parses a single statement of any kind.
+func ParseStatement(src string) (Statement, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	p := &parser{lx: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Statement
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokSemi {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		switch p.tok.kind {
+		case tokSemi:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokEOF:
+		default:
+			return nil, p.errorf("expected ';' between statements, found %q", p.tok.text)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql: empty script")
+	}
+	return out, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.atKeyword("SELECT"):
+		qb, err := p.parseQueryBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SelectStmt{Query: qb}, nil
+	case p.atKeyword("CREATE"):
+		return p.parseCreateTable()
+	case p.atKeyword("INSERT"):
+		return p.parseInsert()
+	case p.atKeyword("DELETE"):
+		return p.parseDelete()
+	case p.atKeyword("UPDATE"):
+		return p.parseUpdate()
+	default:
+		return nil, p.errorf("expected SELECT, CREATE TABLE, INSERT, DELETE, or UPDATE, found %q", p.tok.text)
+	}
+}
+
+// columnTypes maps SQL type names to value kinds.
+var columnTypes = map[string]value.Kind{
+	"INT": value.KindInt, "INTEGER": value.KindInt,
+	"FLOAT": value.KindFloat, "REAL": value.KindFloat,
+	"VARCHAR": value.KindString, "CHAR": value.KindString, "TEXT": value.KindString,
+	"DATE": value.KindDate,
+}
+
+// parseCreateTable parses
+//
+//	CREATE TABLE name ( col type [, col type]... [, PRIMARY KEY (col [, col]...)] )
+//
+// Types may carry a parenthesized length (VARCHAR(20)), which is accepted
+// and ignored — the storage layer is untyped by width.
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.advance(); err != nil { // CREATE
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.tok.text)
+	}
+	rel := &schema.Relation{Name: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(' after table name, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for {
+		if p.atKeyword("PRIMARY") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			rel.Key = cols
+		} else {
+			if p.tok.kind != tokIdent {
+				return nil, p.errorf("expected column name, found %q", p.tok.text)
+			}
+			name := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokIdent {
+				return nil, p.errorf("expected column type, found %q", p.tok.text)
+			}
+			kind, ok := columnTypes[strings.ToUpper(p.tok.text)]
+			if !ok {
+				return nil, p.errorf("unknown column type %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// Optional length, e.g. VARCHAR(20).
+			if p.tok.kind == tokLParen {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tokNumber {
+					return nil, p.errorf("expected length, found %q", p.tok.text)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tokRParen {
+					return nil, p.errorf("expected ')' after length, found %q", p.tok.text)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			rel.Columns = append(rel.Columns, schema.Column{Name: name, Type: kind})
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' at end of column list, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Relation: rel}, nil
+}
+
+// parseIdentList parses ( ident [, ident]... ).
+func (p *parser) parseIdentList() ([]string, error) {
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(', found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected identifier, found %q", p.tok.text)
+		}
+		out = append(out, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')', found %q", p.tok.text)
+	}
+	return out, p.advance()
+}
+
+// parseInsert parses INSERT INTO name VALUES (lit, ...), (lit, ...).
+// NULL is accepted as a literal.
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.advance(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.tok.text)
+	}
+	stmt := &InsertStmt{Table: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		row, err := p.parseValueRow()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseValueRow() ([]value.Value, error) {
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(', found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var row []value.Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' at end of row, found %q", p.tok.text)
+	}
+	return row, p.advance()
+}
+
+// parseLiteral parses one literal value in a VALUES row.
+func (p *parser) parseLiteral() (value.Value, error) {
+	if p.tok.kind == tokKeyword && p.tok.text == "NULL" {
+		if err := p.advance(); err != nil {
+			return value.Null, err
+		}
+		return value.Null, nil
+	}
+	e, err := p.parseOperand()
+	if err != nil {
+		return value.Null, err
+	}
+	c, ok := e.(ast.Const)
+	if !ok {
+		return value.Null, p.errorf("expected literal in VALUES row")
+	}
+	return c.Val, nil
+}
+
+// parseDelete parses DELETE FROM name [WHERE predicates].
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.advance(); err != nil { // DELETE
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.tok.text)
+	}
+	stmt := &DeleteStmt{Table: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		preds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = preds
+	}
+	return stmt, nil
+}
+
+// parseUpdate parses UPDATE name SET col = literal [, ...] [WHERE ...].
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.advance(); err != nil { // UPDATE
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.tok.text)
+	}
+	stmt := &UpdateStmt{Table: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected column name in SET, found %q", p.tok.text)
+		}
+		col := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != "=" {
+			return nil, p.errorf("expected '=' in SET, found %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Val: v})
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		preds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = preds
+	}
+	return stmt, nil
+}

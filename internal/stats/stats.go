@@ -1,0 +1,166 @@
+// Package stats implements System R-style relation statistics and
+// selectivity estimation ([SEL 79], the optimizer the paper defers
+// transformed queries to). ANALYZE scans each relation once and records
+// page and tuple counts plus the number of distinct values per column;
+// predicates are then assigned the classic selectivity factors:
+//
+//	col = const    1 / distinct(col)
+//	col = col      1 / max(distinct(left), distinct(right))
+//	col < const    1/3       (range without value distribution)
+//	col != const   1 - 1/distinct(col)
+//	OR             s1 + s2 − s1·s2
+//	AND            s1 · s2
+//	NOT            1 − s
+//
+// The planner multiplies these into its cardinality estimates when
+// choosing between merge and nested-loops joins.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// defaultDistinct is assumed for columns without statistics, as System R
+// did for unindexed columns.
+const defaultDistinct = 10
+
+// RelationStats holds the statistics of one relation.
+type RelationStats struct {
+	Pages    int
+	Tuples   int
+	Distinct map[string]int // upper-cased column name -> distinct values
+}
+
+// Stats is the statistics catalog.
+type Stats struct {
+	rels map[string]*RelationStats // upper-cased relation name
+}
+
+// New returns an empty statistics catalog.
+func New() *Stats {
+	return &Stats{rels: make(map[string]*RelationStats)}
+}
+
+// Analyze scans every stored relation in the catalog and records its
+// statistics. The scan's page reads are charged like any other access;
+// run ANALYZE outside measured query windows.
+func (s *Stats) Analyze(cat *schema.Catalog, store *storage.Store) error {
+	for _, name := range cat.Names() {
+		rel, _ := cat.Lookup(name)
+		f, ok := store.Lookup(rel.Name)
+		if !ok {
+			return fmt.Errorf("stats: relation %s has no storage", name)
+		}
+		s.AnalyzeRelation(rel, f)
+	}
+	return nil
+}
+
+// AnalyzeRelation computes statistics for one relation.
+func (s *Stats) AnalyzeRelation(rel *schema.Relation, f *storage.HeapFile) {
+	rs := &RelationStats{
+		Pages:    f.NumPages(),
+		Tuples:   f.NumTuples(),
+		Distinct: make(map[string]int, len(rel.Columns)),
+	}
+	seen := make([]map[string]bool, len(rel.Columns))
+	for i := range seen {
+		seen[i] = make(map[string]bool)
+	}
+	f.Scan(func(t storage.Tuple) bool {
+		for i, v := range t {
+			seen[i][v.String()] = true
+		}
+		return true
+	})
+	for i, c := range rel.Columns {
+		rs.Distinct[strings.ToUpper(c.Name)] = len(seen[i])
+	}
+	s.rels[strings.ToUpper(rel.Name)] = rs
+}
+
+// Relation returns the statistics for a relation, or nil when none exist.
+func (s *Stats) Relation(name string) *RelationStats {
+	return s.rels[strings.ToUpper(name)]
+}
+
+// DistinctValues returns the distinct-value count of binding.column given
+// a FROM clause mapping bindings to relations, falling back to the System
+// R default when unknown.
+func (s *Stats) DistinctValues(ref ast.ColumnRef, from []ast.TableRef) int {
+	for _, tr := range from {
+		if strings.EqualFold(tr.Binding(), ref.Table) {
+			if rs := s.Relation(tr.Relation); rs != nil {
+				if d, ok := rs.Distinct[strings.ToUpper(ref.Column)]; ok && d > 0 {
+					return d
+				}
+			}
+		}
+	}
+	return defaultDistinct
+}
+
+// Selectivity estimates the fraction of rows satisfying the predicate
+// over the given FROM clause. Unknown shapes get the neutral factor 1/3.
+func (s *Stats) Selectivity(p ast.Predicate, from []ast.TableRef) float64 {
+	switch p := p.(type) {
+	case *ast.Comparison:
+		return s.comparisonSelectivity(p, from)
+	case *ast.OrPred:
+		a, b := s.Selectivity(p.Left, from), s.Selectivity(p.Right, from)
+		return a + b - a*b
+	case *ast.AndPred:
+		return s.Selectivity(p.Left, from) * s.Selectivity(p.Right, from)
+	case *ast.NotPred:
+		return 1 - s.Selectivity(p.P, from)
+	default:
+		return 1.0 / 3
+	}
+}
+
+func (s *Stats) comparisonSelectivity(p *ast.Comparison, from []ast.TableRef) float64 {
+	lc, lok := p.Left.(ast.ColumnRef)
+	rc, rok := p.Right.(ast.ColumnRef)
+	switch p.Op {
+	case value.OpEq:
+		switch {
+		case lok && rok:
+			dl, dr := s.DistinctValues(lc, from), s.DistinctValues(rc, from)
+			return 1 / float64(max(dl, dr))
+		case lok:
+			return 1 / float64(s.DistinctValues(lc, from))
+		case rok:
+			return 1 / float64(s.DistinctValues(rc, from))
+		default:
+			return 1.0 / 10
+		}
+	case value.OpNe:
+		switch {
+		case lok:
+			return 1 - 1/float64(s.DistinctValues(lc, from))
+		case rok:
+			return 1 - 1/float64(s.DistinctValues(rc, from))
+		default:
+			return 9.0 / 10
+		}
+	default: // range predicates
+		return 1.0 / 3
+	}
+}
+
+// JoinCardinality estimates the output size of an equality join between
+// inputs of nl and nr tuples on columns with the given distinct counts:
+// nl·nr / max(dl, dr).
+func JoinCardinality(nl, nr float64, dl, dr int) float64 {
+	d := max(dl, dr)
+	if d < 1 {
+		d = 1
+	}
+	return nl * nr / float64(d)
+}

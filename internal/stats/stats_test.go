@@ -1,0 +1,141 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func analyzed(t *testing.T) (*stats.Stats, *workload.DB) {
+	t.Helper()
+	db := workload.NewDB(8)
+	if err := workload.LoadSuppliers(db); err != nil {
+		t.Fatal(err)
+	}
+	st := stats.New()
+	if err := st.Analyze(db.Cat, db.Store); err != nil {
+		t.Fatal(err)
+	}
+	return st, db
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAnalyzeCounts(t *testing.T) {
+	st, _ := analyzed(t)
+	s := st.Relation("S")
+	if s == nil {
+		t.Fatal("no stats for S")
+	}
+	if s.Tuples != 5 {
+		t.Errorf("S tuples = %d", s.Tuples)
+	}
+	// SNO has 5 distinct values, CITY has 3, STATUS has 3.
+	if s.Distinct["SNO"] != 5 || s.Distinct["CITY"] != 3 || s.Distinct["STATUS"] != 3 {
+		t.Errorf("S distinct = %v", s.Distinct)
+	}
+	if st.Relation("NOPE") != nil {
+		t.Error("stats for unknown relation")
+	}
+}
+
+func TestAnalyzeDistinctWithNulls(t *testing.T) {
+	db := workload.NewDB(8)
+	st := stats.New()
+	// NULLs group as one distinct value (they key identically).
+	rel := relWithNulls(t, db)
+	f, _ := db.Store.Lookup(rel)
+	r, _ := db.Cat.Lookup(rel)
+	st.AnalyzeRelation(r, f)
+	if got := st.Relation(rel).Distinct["X"]; got != 3 { // 1, 2, NULL
+		t.Errorf("distinct with NULLs = %d, want 3", got)
+	}
+}
+
+func relWithNulls(t *testing.T, db *workload.DB) string {
+	t.Helper()
+	rel := &schema.Relation{Name: "N", Columns: []schema.Column{{Name: "X", Type: value.KindInt}}}
+	rows := []storage.Tuple{{value.NewInt(1)}, {value.NewInt(2)}, {value.Null}, {value.Null}}
+	if err := db.Load(rel, 0, rows); err != nil {
+		t.Fatal(err)
+	}
+	return "N"
+}
+
+func TestSelectivityFactors(t *testing.T) {
+	st, _ := analyzed(t)
+	from := []ast.TableRef{{Relation: "S"}}
+	city := ast.ColumnRef{Table: "S", Column: "CITY"}
+	sno := ast.ColumnRef{Table: "S", Column: "SNO"}
+	cst := ast.Const{Val: value.NewString("Paris")}
+
+	cases := []struct {
+		p    ast.Predicate
+		want float64
+	}{
+		// col = const: 1/distinct.
+		{&ast.Comparison{Left: city, Op: value.OpEq, Right: cst}, 1.0 / 3},
+		{&ast.Comparison{Left: cst, Op: value.OpEq, Right: city}, 1.0 / 3},
+		// col = col: 1/max(d1, d2).
+		{&ast.Comparison{Left: city, Op: value.OpEq, Right: sno}, 1.0 / 5},
+		// col != const.
+		{&ast.Comparison{Left: city, Op: value.OpNe, Right: cst}, 2.0 / 3},
+		// range.
+		{&ast.Comparison{Left: sno, Op: value.OpLt, Right: cst}, 1.0 / 3},
+		// const only.
+		{&ast.Comparison{Left: cst, Op: value.OpEq, Right: cst}, 1.0 / 10},
+	}
+	for _, c := range cases {
+		if got := st.Selectivity(c.p, from); !almost(got, c.want) {
+			t.Errorf("Selectivity(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSelectivityCombinators(t *testing.T) {
+	st, _ := analyzed(t)
+	from := []ast.TableRef{{Relation: "S"}}
+	city := ast.ColumnRef{Table: "S", Column: "CITY"}
+	eq := &ast.Comparison{Left: city, Op: value.OpEq, Right: ast.Const{Val: value.NewString("x")}}
+
+	and := &ast.AndPred{Left: eq, Right: eq}
+	if got := st.Selectivity(and, from); !almost(got, 1.0/9) {
+		t.Errorf("AND = %v", got)
+	}
+	or := &ast.OrPred{Left: eq, Right: eq}
+	if got := st.Selectivity(or, from); !almost(got, 1.0/3+1.0/3-1.0/9) {
+		t.Errorf("OR = %v", got)
+	}
+	not := &ast.NotPred{P: eq}
+	if got := st.Selectivity(not, from); !almost(got, 2.0/3) {
+		t.Errorf("NOT = %v", got)
+	}
+	// Unknown shape: neutral 1/3.
+	in := &ast.InPred{Left: city, Sub: &ast.QueryBlock{}}
+	if got := st.Selectivity(in, from); !almost(got, 1.0/3) {
+		t.Errorf("IN = %v", got)
+	}
+}
+
+func TestDistinctValuesFallback(t *testing.T) {
+	st := stats.New()
+	ref := ast.ColumnRef{Table: "T", Column: "X"}
+	if got := st.DistinctValues(ref, []ast.TableRef{{Relation: "T"}}); got != 10 {
+		t.Errorf("fallback distinct = %d, want 10", got)
+	}
+}
+
+func TestJoinCardinality(t *testing.T) {
+	if got := stats.JoinCardinality(100, 200, 50, 20); got != 100*200/50 {
+		t.Errorf("JoinCardinality = %v", got)
+	}
+	if got := stats.JoinCardinality(10, 10, 0, 0); got != 100 {
+		t.Errorf("JoinCardinality with zero distinct = %v", got)
+	}
+}

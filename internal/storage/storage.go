@@ -1,0 +1,328 @@
+// Package storage implements the paged storage substrate: heap files made
+// of fixed-capacity pages, an LRU buffer pool of B pages, and page-I/O
+// accounting.
+//
+// The paper's performance metric is "the number of disk page I/O's
+// required" with relations scanned sequentially and B pages of main-memory
+// buffer space (section 7). This package makes that metric *measurable*
+// rather than only computable: every page fetched through the buffer pool
+// that is not resident counts as one read, and every page appended to a
+// heap file counts as one write. The nested-iteration executor re-scans
+// inner relations through the pool, so an inner relation that fits in B
+// pages stays cached (System R's favorable case) while one that does not
+// pays a full re-read per outer tuple (the worst case Kim's and the paper's
+// analyses assume).
+//
+// Heap files are in-memory; "disk" is a slice of pages. That preserves the
+// behavior under study — which pages move — without actual device I/O.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Tuple is one row: a slice of values positionally matched to a relation's
+// columns. Tuples are treated as immutable once appended.
+type Tuple []value.Value
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// String renders the tuple the way the paper prints table rows.
+func (t Tuple) String() string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// IOStats counts page movements. Reads are buffer-pool misses (and direct
+// reads by the external sorter, which manages its own buffers); Writes are
+// pages appended to heap files.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads plus writes — the paper's "page I/O's required".
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s - o, used to measure a single query's cost
+// as a delta between snapshots.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("%d page I/Os (%d reads + %d writes)", s.Total(), s.Reads, s.Writes)
+}
+
+// DefaultTuplesPerPage is the page capacity used when a relation does not
+// specify one. Experiments set capacities explicitly to hit the paper's
+// page counts (Pi, Pj, ...).
+const DefaultTuplesPerPage = 32
+
+// page is one disk page: a bounded slice of tuples.
+type page struct {
+	tuples []Tuple
+}
+
+// HeapFile is a relation's stored representation: an ordered sequence of
+// pages, scanned sequentially as in the paper's analyses.
+type HeapFile struct {
+	store         *Store
+	name          string
+	tuplesPerPage int
+	pages         []*page
+	nTuples       int
+	// sealed marks the final partial page as written; further appends
+	// are a programming error.
+	sealed bool
+}
+
+// Name returns the file's name.
+func (f *HeapFile) Name() string { return f.name }
+
+// NumPages returns the file's size in pages — the paper's Pk.
+func (f *HeapFile) NumPages() int { return len(f.pages) }
+
+// NumTuples returns the number of stored tuples — the paper's Nk.
+func (f *HeapFile) NumTuples() int { return f.nTuples }
+
+// TuplesPerPage returns the page capacity.
+func (f *HeapFile) TuplesPerPage() int { return f.tuplesPerPage }
+
+// Append adds one tuple, counting a page write each time a page fills.
+// Call Seal when the file is complete so the final partial page is
+// accounted for. Appending to a sealed file reopens it: the next Seal
+// re-counts the trailing partial page, modeling the rewrite of a page
+// that had already gone to disk.
+func (f *HeapFile) Append(t Tuple) {
+	f.sealed = false
+	if len(f.pages) == 0 || len(f.pages[len(f.pages)-1].tuples) == f.tuplesPerPage {
+		f.pages = append(f.pages, &page{tuples: make([]Tuple, 0, f.tuplesPerPage)})
+	}
+	last := f.pages[len(f.pages)-1]
+	last.tuples = append(last.tuples, t)
+	f.nTuples++
+	if len(last.tuples) == f.tuplesPerPage {
+		f.store.stats.Writes++
+	}
+}
+
+// Seal finishes the file: the trailing partial page, if any, is counted as
+// one write. Seal is idempotent.
+func (f *HeapFile) Seal() {
+	if f.sealed {
+		return
+	}
+	f.sealed = true
+	if n := len(f.pages); n > 0 && len(f.pages[n-1].tuples) < f.tuplesPerPage {
+		f.store.stats.Writes++
+	}
+}
+
+// ReadPage fetches page i through the buffer pool, counting a read on a
+// miss. The returned slice must not be mutated.
+func (f *HeapFile) ReadPage(i int) []Tuple {
+	if i < 0 || i >= len(f.pages) {
+		panic(fmt.Sprintf("storage: page %d out of range for %s (%d pages)", i, f.name, len(f.pages)))
+	}
+	f.store.pool.touch(pageID{file: f, idx: i})
+	return f.pages[i].tuples
+}
+
+// ReadPageDirect fetches page i bypassing the buffer pool, always counting
+// one read. The external sorter uses it for run files: the sorter owns its
+// merge buffers, so its I/O follows the 2·P·log_{B-1}(P) model rather than
+// LRU caching.
+func (f *HeapFile) ReadPageDirect(i int) []Tuple {
+	if i < 0 || i >= len(f.pages) {
+		panic(fmt.Sprintf("storage: page %d out of range for %s (%d pages)", i, f.name, len(f.pages)))
+	}
+	f.store.stats.Reads++
+	return f.pages[i].tuples
+}
+
+// Scan calls fn for every tuple in sequential page order, reading through
+// the buffer pool. fn returning false stops the scan.
+func (f *HeapFile) Scan(fn func(Tuple) bool) {
+	for i := range f.pages {
+		for _, t := range f.ReadPage(i) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Rewrite rebuilds the file, keeping each tuple for which keep returns
+// true, after applying an optional transform. Reads go through the buffer
+// pool; rewritten pages are charged as writes (the file is rebuilt in
+// sequential order, as a System R-era update-by-rewrite would). It returns
+// the number of tuples affected (dropped or changed).
+func (f *HeapFile) Rewrite(keep func(Tuple) (bool, Tuple)) int {
+	var kept []Tuple
+	affected := 0
+	for i := range f.pages {
+		for _, t := range f.ReadPage(i) {
+			ok, nt := keep(t)
+			if !ok {
+				affected++
+				continue
+			}
+			if nt != nil {
+				affected++
+				kept = append(kept, nt)
+				continue
+			}
+			kept = append(kept, t)
+		}
+	}
+	f.store.pool.invalidate(f)
+	f.pages = nil
+	f.nTuples = 0
+	f.sealed = false
+	for _, t := range kept {
+		f.Append(t)
+	}
+	f.Seal()
+	return affected
+}
+
+// pageID identifies a page for the buffer pool.
+type pageID struct {
+	file *HeapFile
+	idx  int
+}
+
+// bufferPool is an LRU cache of page identities. Because heap files are in
+// memory, the pool tracks residency only — which pages would occupy buffer
+// frames — and charges a read for each miss.
+type bufferPool struct {
+	capacity int
+	lru      []pageID // front = least recently used
+	resident map[pageID]bool
+	store    *Store
+}
+
+func (p *bufferPool) touch(id pageID) {
+	if p.capacity <= 0 {
+		p.store.stats.Reads++
+		return
+	}
+	if p.resident[id] {
+		// Move to back (most recently used).
+		for i, e := range p.lru {
+			if e == id {
+				copy(p.lru[i:], p.lru[i+1:])
+				p.lru[len(p.lru)-1] = id
+				break
+			}
+		}
+		return
+	}
+	p.store.stats.Reads++
+	if len(p.lru) == p.capacity {
+		evict := p.lru[0]
+		copy(p.lru, p.lru[1:])
+		p.lru = p.lru[:len(p.lru)-1]
+		delete(p.resident, evict)
+	}
+	p.lru = append(p.lru, id)
+	p.resident[id] = true
+}
+
+// invalidate drops all cached pages of a file (used when dropping temp
+// tables so their frames free up).
+func (p *bufferPool) invalidate(f *HeapFile) {
+	out := p.lru[:0]
+	for _, id := range p.lru {
+		if id.file == f {
+			delete(p.resident, id)
+		} else {
+			out = append(out, id)
+		}
+	}
+	p.lru = out
+}
+
+// Store owns heap files, the buffer pool, and the I/O statistics.
+type Store struct {
+	pool  *bufferPool
+	files map[string]*HeapFile
+	stats IOStats
+	tmpID int
+}
+
+// NewStore creates a store whose buffer pool holds bufferPages pages — the
+// paper's B. A non-positive value disables caching (every page fetch
+// counts).
+func NewStore(bufferPages int) *Store {
+	s := &Store{files: make(map[string]*HeapFile)}
+	s.pool = &bufferPool{
+		capacity: bufferPages,
+		resident: make(map[pageID]bool),
+		store:    s,
+	}
+	return s
+}
+
+// BufferPages returns the pool capacity B.
+func (s *Store) BufferPages() int { return s.pool.capacity }
+
+// Stats returns the cumulative I/O counters.
+func (s *Store) Stats() IOStats { return s.stats }
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() { s.stats = IOStats{} }
+
+// ChargeReads adds n page reads to the counters. Access structures that
+// manage their own pages (indexes) use it to charge their I/O.
+func (s *Store) ChargeReads(n int64) { s.stats.Reads += n }
+
+// Create makes a new, empty heap file. tuplesPerPage <= 0 uses the default.
+func (s *Store) Create(name string, tuplesPerPage int) (*HeapFile, error) {
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("storage: file %s already exists", name)
+	}
+	if tuplesPerPage <= 0 {
+		tuplesPerPage = DefaultTuplesPerPage
+	}
+	f := &HeapFile{store: s, name: name, tuplesPerPage: tuplesPerPage}
+	s.files[name] = f
+	return f, nil
+}
+
+// CreateTemp makes an anonymous heap file for intermediate results (sort
+// runs, materialized temporaries).
+func (s *Store) CreateTemp(tuplesPerPage int) *HeapFile {
+	s.tmpID++
+	f, err := s.Create(fmt.Sprintf("$tmp%d", s.tmpID), tuplesPerPage)
+	if err != nil {
+		panic(err) // $tmp names are generated and cannot collide
+	}
+	return f
+}
+
+// Lookup finds a heap file by name.
+func (s *Store) Lookup(name string) (*HeapFile, bool) {
+	f, ok := s.files[name]
+	return f, ok
+}
+
+// Drop removes a heap file and releases its buffer frames.
+func (s *Store) Drop(name string) {
+	f, ok := s.files[name]
+	if !ok {
+		return
+	}
+	s.pool.invalidate(f)
+	delete(s.files, name)
+}

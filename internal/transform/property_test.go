@@ -1,0 +1,126 @@
+package transform_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// Structural invariants of the transformation, checked over a family of
+// randomly shaped type-JA queries:
+//
+//  1. The canonical query has no nested predicates.
+//  2. Every temp definition is itself flat (temps may only contain
+//     residual type-A constants, never correlation).
+//  3. No free references remain anywhere: each block's references bind in
+//     its own FROM clause (or, for type-A constants, inside themselves).
+//  4. Every relation mentioned in FROM clauses is either a base relation
+//     or a temp defined earlier in the program.
+//  5. The outermost SELECT clause is retained verbatim.
+func TestCanonicalFormInvariants(t *testing.T) {
+	aggs := []string{"COUNT(QUAN)", "COUNT(*)", "MAX(QUAN)", "MIN(QUAN)", "SUM(QUAN)"}
+	jops := []string{"=", "<", ">="}
+	sops := []string{"=", "<"}
+	rng := rand.New(rand.NewSource(11))
+	for round := range 60 {
+		agg := aggs[rng.Intn(len(aggs))]
+		jop := jops[rng.Intn(len(jops))]
+		sop := sops[rng.Intn(len(sops))]
+		simple := ""
+		if rng.Intn(2) == 0 {
+			simple = fmt.Sprintf("QOH > %d AND ", rng.Intn(3))
+		}
+		src := fmt.Sprintf(`
+			SELECT PNUM FROM PARTS
+			WHERE %sQOH %s (SELECT %s FROM SUPPLY
+			                WHERE SUPPLY.PNUM %s PARTS.PNUM AND SHIPDATE < 1-1-80)`,
+			simple, sop, agg, jop)
+		db, qb := prep(t, workload.LoadKiessling, src)
+		origSelect := fmt.Sprint(qb.Select)
+		res := mustTransform(t, db, qb, transform.JA2)
+
+		if res.Query.HasNestedPredicate() {
+			t.Fatalf("round %d: canonical query still nested: %s", round, res.Query)
+		}
+		known := map[string]bool{}
+		for _, name := range db.Cat.Names() {
+			known[strings.ToUpper(name)] = true
+		}
+		checkBlock := func(label string, b *ast.QueryBlock) {
+			for _, tr := range b.From {
+				if !known[strings.ToUpper(tr.Relation)] {
+					t.Fatalf("round %d: %s references undefined relation %s", round, label, tr.Relation)
+				}
+			}
+			if refs := ast.FreeRefs(b); len(refs) > 0 {
+				t.Fatalf("round %d: %s has free references %v", round, label, refs)
+			}
+		}
+		for _, temp := range res.Temps {
+			if temp.Def.HasNestedPredicate() {
+				// Only type-A constants may remain, and they are
+				// uncorrelated by definition.
+				for _, p := range temp.Def.Where {
+					if sub := ast.SubqueryOf(p); sub != nil && ast.IsCorrelated(sub) {
+						t.Fatalf("round %d: temp %s retains correlation: %s", round, temp.Name, temp.Def)
+					}
+				}
+			}
+			checkBlock("temp "+temp.Name, temp.Def)
+			known[strings.ToUpper(temp.Name)] = true
+		}
+		checkBlock("final query", res.Query)
+		if got := fmt.Sprint(res.Query.Select); got != origSelect {
+			t.Fatalf("round %d: outer SELECT changed: %s -> %s", round, origSelect, got)
+		}
+	}
+}
+
+// The transformation is deterministic: same input, same program.
+func TestTransformDeterministic(t *testing.T) {
+	db, qb := prep(t, workload.LoadKiessling, workload.KiesslingQ2)
+	a := mustTransform(t, db, qb, transform.JA2)
+	b := mustTransform(t, db, qb, transform.JA2)
+	if a.Query.String() != b.Query.String() || len(a.Temps) != len(b.Temps) {
+		t.Fatal("transformation not deterministic")
+	}
+	for i := range a.Temps {
+		if a.Temps[i].Def.String() != b.Temps[i].Def.String() {
+			t.Fatalf("temp %d differs", i)
+		}
+	}
+}
+
+// Resolving and re-parsing the generated program round-trips: every temp
+// definition and the final query are themselves valid SQL over the schema
+// extended with the earlier temps.
+func TestGeneratedProgramReparses(t *testing.T) {
+	db, qb := prep(t, workload.LoadKiessling, workload.KiesslingQ2)
+	res := mustTransform(t, db, qb, transform.JA2)
+	for _, temp := range res.Temps {
+		reparsed, err := sqlparser.Parse(temp.Def.String())
+		if err != nil {
+			t.Fatalf("temp %s does not re-parse: %v", temp.Name, err)
+		}
+		if _, err := schema.Resolve(db.Cat, reparsed); err != nil {
+			t.Fatalf("temp %s does not re-resolve: %v", temp.Name, err)
+		}
+		if err := db.Cat.Define(temp.Rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reparsed, err := sqlparser.Parse(res.Query.String())
+	if err != nil {
+		t.Fatalf("final query does not re-parse: %v", err)
+	}
+	if _, err := schema.Resolve(db.Cat, reparsed); err != nil {
+		t.Fatalf("final query does not re-resolve: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package value
+
+import "fmt"
+
+// CompareOp is a scalar comparison operator. The paper's SQL dialect uses
+// =, !=, <, >, <=, >= and the System R spellings !< and !> (which the
+// parser normalizes to >= and <=).
+type CompareOp uint8
+
+// The comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", uint8(op))
+	}
+}
+
+// Flip returns the operator with its operands exchanged: a op b is
+// equivalent to b op.Flip() a. The transformation algorithms use it when a
+// correlated join predicate is written with the outer column on either side.
+func (op CompareOp) Flip() CompareOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // = and != are symmetric
+		return op
+	}
+}
+
+// Negate returns the complementary operator: a op b is false exactly when
+// a op.Negate() b is true (for non-NULL operands).
+func (op CompareOp) Negate() CompareOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	default:
+		return op
+	}
+}
+
+// Compare orders two non-NULL values of compatible types, returning a
+// negative, zero, or positive integer. Numeric values compare across
+// int/float; strings compare lexicographically; dates chronologically. It
+// returns an error for incomparable kinds (e.g. a string against a number),
+// which the engine surfaces as a type error at execution time.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("value: Compare called on NULL")
+	}
+	switch {
+	case a.isNumeric() && b.isNumeric():
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case a.kind == KindString && b.kind == KindString:
+		switch {
+		case a.s < b.s:
+			return -1, nil
+		case a.s > b.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case a.kind == KindDate && b.kind == KindDate:
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("value: cannot compare %s with %s", a.kind, b.kind)
+	}
+}
+
+// Apply evaluates a op b under SQL three-valued logic: if either operand is
+// NULL the result is Unknown; otherwise it is the definite truth value of
+// the comparison.
+func (op CompareOp) Apply(a, b Value) (Tri, error) {
+	if a.IsNull() || b.IsNull() {
+		return Unknown, nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Unknown, err
+	}
+	switch op {
+	case OpEq:
+		return TriOf(c == 0), nil
+	case OpNe:
+		return TriOf(c != 0), nil
+	case OpLt:
+		return TriOf(c < 0), nil
+	case OpLe:
+		return TriOf(c <= 0), nil
+	case OpGt:
+		return TriOf(c > 0), nil
+	case OpGe:
+		return TriOf(c >= 0), nil
+	default:
+		return Unknown, fmt.Errorf("value: unknown operator %v", op)
+	}
+}
+
+// SortLess is a total order over values used by sorting and duplicate
+// elimination: NULL sorts before every non-NULL value, and NULLs are equal
+// to each other. It panics on incomparable kinds, which resolution prevents.
+func SortLess(a, b Value) bool {
+	if a.IsNull() {
+		return !b.IsNull()
+	}
+	if b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c < 0
+}
+
+// SortCompare is the three-way form of SortLess.
+func SortCompare(a, b Value) int {
+	switch {
+	case SortLess(a, b):
+		return -1
+	case SortLess(b, a):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,101 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Date is a calendar date. The paper's example data uses dates such as
+// 7-3-79 and 8/14/77 (month-day-two-digit-year, with two-digit years in the
+// 1900s); we also accept ISO YYYY-MM-DD. Dates are encoded as the integer
+// year*10000 + month*100 + day so that the natural integer order is
+// chronological order, which is all the engine's comparisons and sorts need.
+type Date struct {
+	enc int64
+}
+
+// NewDate builds a date from components. It validates ranges loosely (month
+// 1-12, day 1-31); the engine does not need full calendar arithmetic.
+func NewDate(year, month, day int) (Date, error) {
+	if month < 1 || month > 12 || day < 1 || day > 31 || year < 0 || year > 9999 {
+		return Date{}, fmt.Errorf("value: invalid date %d-%d-%d", month, day, year)
+	}
+	return Date{enc: int64(year)*10000 + int64(month)*100 + int64(day)}, nil
+}
+
+// ParseDate parses the date syntaxes that appear in the paper and in our
+// test data:
+//
+//	M-D-YY   (7-3-79: July 3, 1979)
+//	M/D/YY   (8/14/77)
+//	YYYY-MM-DD (1979-07-03)
+//
+// Two-digit years are interpreted in the 1900s, matching the paper's data.
+func ParseDate(s string) (Date, error) {
+	sep := "-"
+	if strings.Contains(s, "/") {
+		sep = "/"
+	}
+	parts := strings.Split(s, sep)
+	if len(parts) != 3 {
+		return Date{}, fmt.Errorf("value: cannot parse date %q", s)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return Date{}, fmt.Errorf("value: cannot parse date %q: %v", s, err)
+		}
+		nums[i] = n
+	}
+	if len(parts[0]) == 4 {
+		// ISO: YYYY-MM-DD.
+		return NewDate(nums[0], nums[1], nums[2])
+	}
+	year := nums[2]
+	if year < 100 {
+		year += 1900
+	}
+	return NewDate(year, nums[0], nums[1])
+}
+
+// MustParseDate is ParseDate for statically-known literals; it panics on
+// malformed input.
+func MustParseDate(s string) Date {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Year returns the calendar year.
+func (d Date) Year() int { return int(d.enc / 10000) }
+
+// Month returns the calendar month (1-12).
+func (d Date) Month() int { return int(d.enc/100) % 100 }
+
+// Day returns the day of month.
+func (d Date) Day() int { return int(d.enc % 100) }
+
+// String renders the date in the paper's M-D-YY style for years in the
+// 1900s and ISO otherwise.
+func (d Date) String() string {
+	y := d.Year()
+	if y >= 1900 && y < 2000 {
+		return fmt.Sprintf("%d-%d-%02d", d.Month(), d.Day(), y-1900)
+	}
+	return fmt.Sprintf("%04d-%02d-%02d", y, d.Month(), d.Day())
+}
+
+// NewDateValue wraps a Date as a Value.
+func NewDateValue(d Date) Value { return Value{kind: KindDate, i: d.enc} }
+
+// DateOf extracts the Date payload. It panics if the value is not a date.
+func (v Value) DateOf() Date {
+	if v.kind != KindDate {
+		panic(fmt.Sprintf("value: DateOf() on %s", v.kind))
+	}
+	return Date{enc: v.i}
+}

@@ -1,0 +1,60 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Gob encoding for Value, enabling database snapshots (engine Save /
+// Restore). The wire form is one kind byte followed by the payload:
+// varint for integers and dates, 8 fixed bytes for floats, raw bytes for
+// strings. NULL is the kind byte alone.
+
+// GobEncode implements gob.GobEncoder.
+func (v Value) GobEncode() ([]byte, error) {
+	out := []byte{byte(v.kind)}
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindDate:
+		out = binary.AppendVarint(out, v.i)
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		out = append(out, buf[:]...)
+	case KindString:
+		out = append(out, v.s...)
+	default:
+		return nil, fmt.Errorf("value: cannot encode kind %d", v.kind)
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("value: empty encoding")
+	}
+	kind := Kind(b[0])
+	payload := b[1:]
+	switch kind {
+	case KindNull:
+		*v = Null
+	case KindInt, KindDate:
+		i, n := binary.Varint(payload)
+		if n <= 0 {
+			return fmt.Errorf("value: bad integer encoding")
+		}
+		*v = Value{kind: kind, i: i}
+	case KindFloat:
+		if len(payload) != 8 {
+			return fmt.Errorf("value: bad float encoding")
+		}
+		*v = Value{kind: KindFloat, f: math.Float64frombits(binary.BigEndian.Uint64(payload))}
+	case KindString:
+		*v = Value{kind: KindString, s: string(payload)}
+	default:
+		return fmt.Errorf("value: cannot decode kind %d", kind)
+	}
+	return nil
+}

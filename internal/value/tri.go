@@ -1,0 +1,59 @@
+package value
+
+// Tri is SQL's three-valued logic: the result of a predicate over values
+// that may be NULL. A WHERE clause keeps a row only when the predicate is
+// True; both False and Unknown reject it. This distinction is what makes
+// the paper's examples come out right: in query Q5 (section 5.3) the
+// correlated MAX over an empty set is NULL, QOH = NULL is Unknown, and the
+// outer row is dropped.
+type Tri int8
+
+// The three truth values.
+const (
+	False   Tri = -1
+	Unknown Tri = 0
+	True    Tri = 1
+)
+
+// TriOf converts a Go bool to a definite truth value.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is three-valued conjunction.
+func (t Tri) And(o Tri) Tri {
+	if t < o {
+		return t
+	}
+	return o
+}
+
+// Or is three-valued disjunction.
+func (t Tri) Or(o Tri) Tri {
+	if t > o {
+		return t
+	}
+	return o
+}
+
+// Not is three-valued negation: NOT Unknown is Unknown.
+func (t Tri) Not() Tri { return -t }
+
+// IsTrue reports whether the truth value is definitely true — the only case
+// in which a WHERE clause accepts a row.
+func (t Tri) IsTrue() bool { return t == True }
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}

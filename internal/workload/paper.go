@@ -1,0 +1,212 @@
+// Package workload builds the databases the paper evaluates on: the
+// literal example instances from the text (Kiessling's PARTS/SUPPLY tables
+// and the two variants the paper introduces in sections 5.3 and 5.4, plus
+// the S/P/SP suppliers database of the introduction) and parameterized
+// synthetic databases for the performance experiments.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// DB bundles a catalog and a store so fixtures can be loaded anywhere.
+type DB struct {
+	Cat   *schema.Catalog
+	Store *storage.Store
+}
+
+// NewDB creates an empty database with a B-page buffer pool.
+func NewDB(bufferPages int) *DB {
+	return &DB{Cat: schema.NewCatalog(), Store: storage.NewStore(bufferPages)}
+}
+
+// Load defines a relation and stores its rows. tuplesPerPage <= 0 uses the
+// storage default.
+func (db *DB) Load(rel *schema.Relation, tuplesPerPage int, rows []storage.Tuple) error {
+	if err := db.Cat.Define(rel); err != nil {
+		return err
+	}
+	f, err := db.Store.Create(rel.Name, tuplesPerPage)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != len(rel.Columns) {
+			return fmt.Errorf("workload: row %v does not match schema of %s", r, rel.Name)
+		}
+		f.Append(r)
+	}
+	f.Seal()
+	return nil
+}
+
+func i(v int64) value.Value  { return value.NewInt(v) }
+func s(v string) value.Value { return value.NewString(v) }
+func d(v string) value.Value { return value.NewDateValue(value.MustParseDate(v)) }
+
+func partsRel() *schema.Relation {
+	return &schema.Relation{Name: "PARTS", Columns: []schema.Column{
+		{Name: "PNUM", Type: value.KindInt},
+		{Name: "QOH", Type: value.KindInt},
+	}}
+}
+
+func supplyRel() *schema.Relation {
+	return &schema.Relation{Name: "SUPPLY", Columns: []schema.Column{
+		{Name: "PNUM", Type: value.KindInt},
+		{Name: "QUAN", Type: value.KindInt},
+		{Name: "SHIPDATE", Type: value.KindDate},
+	}}
+}
+
+// LoadKiessling loads the PARTS and SUPPLY instances of [KIE 84:2], used in
+// section 5.1 to demonstrate the COUNT bug. Against Kiessling's query Q2,
+// nested iteration yields PNUM ∈ {10, 8}; Kim's NEST-JA loses part 8
+// (whose correlated COUNT is 0) and yields only {10}.
+func LoadKiessling(db *DB) error {
+	if err := db.Load(partsRel(), 0, []storage.Tuple{
+		{i(3), i(6)},
+		{i(10), i(1)},
+		{i(8), i(0)},
+	}); err != nil {
+		return err
+	}
+	return db.Load(supplyRel(), 0, []storage.Tuple{
+		{i(3), i(4), d("7-3-79")},
+		{i(3), i(2), d("10-1-78")},
+		{i(10), i(1), d("6-8-78")},
+		{i(10), i(2), d("8-10-81")},
+		{i(8), i(5), d("5-7-83")},
+	})
+}
+
+// LoadNonEquality loads the PARTS and SUPPLY instances of section 5.3,
+// used to demonstrate the relations-other-than-equality bug with query Q5
+// (the "<" variant of Kiessling's Q1). Nested iteration yields {8}; Kim's
+// NEST-JA yields {10, 8}.
+func LoadNonEquality(db *DB) error {
+	if err := db.Load(partsRel(), 0, []storage.Tuple{
+		{i(3), i(0)},
+		{i(10), i(4)},
+		{i(8), i(4)},
+	}); err != nil {
+		return err
+	}
+	return db.Load(supplyRel(), 0, []storage.Tuple{
+		{i(3), i(4), d("7-3-79")},
+		{i(3), i(2), d("10-1-78")},
+		{i(10), i(1), d("6-8-78")},
+		{i(9), i(5), d("3-2-79")},
+	})
+}
+
+// LoadDuplicates loads the PARTS and SUPPLY instances of section 5.4, where
+// PARTS has duplicate join-column values. Against query Q2 nested iteration
+// yields {3, 10, 8}; the outer-join fix without the DISTINCT projection
+// yields only {8}.
+func LoadDuplicates(db *DB) error {
+	if err := db.Load(partsRel(), 0, []storage.Tuple{
+		{i(3), i(6)},
+		{i(3), i(2)},
+		{i(10), i(1)},
+		{i(10), i(0)},
+		{i(8), i(0)},
+	}); err != nil {
+		return err
+	}
+	return db.Load(supplyRel(), 0, []storage.Tuple{
+		{i(3), i(4), d("8/14/77")},
+		{i(3), i(2), d("11/11/78")},
+		{i(10), i(1), d("6/22/76")},
+	})
+}
+
+// KiesslingQ2 is query Q2 of [KIE 84:4]: "find the part numbers of those
+// parts whose quantities on hand equal the number of shipments of those
+// parts before 1-1-80".
+const KiesslingQ2 = `
+SELECT PNUM
+FROM   PARTS
+WHERE  QOH = (SELECT COUNT(SHIPDATE)
+              FROM   SUPPLY
+              WHERE  SUPPLY.PNUM = PARTS.PNUM AND
+                     SHIPDATE < 1-1-80)`
+
+// KiesslingQ2CountStar is Q2 with COUNT(*) instead of COUNT(SHIPDATE) —
+// the section 5.2.1 variant that forces the COUNT(*) conversion rule.
+const KiesslingQ2CountStar = `
+SELECT PNUM
+FROM   PARTS
+WHERE  QOH = (SELECT COUNT(*)
+              FROM   SUPPLY
+              WHERE  SUPPLY.PNUM = PARTS.PNUM AND
+                     SHIPDATE < 1-1-80)`
+
+// GanskiQ5 is query Q5 of section 5.3: Kiessling's Q1 with "<" substituted
+// for "=" in the correlated join predicate.
+const GanskiQ5 = `
+SELECT PNUM
+FROM   PARTS
+WHERE  QOH = (SELECT MAX(QUAN)
+              FROM   SUPPLY
+              WHERE  SUPPLY.PNUM < PARTS.PNUM AND
+                     SHIPDATE < 1-1-80)`
+
+// LoadSuppliers loads the S/P/SP suppliers database of the paper's
+// introduction with a small, plausible instance (the paper gives only the
+// schema). Keys: S(SNO), P(PNO), SP(SNO,PNO).
+func LoadSuppliers(db *DB) error {
+	if err := db.Load(&schema.Relation{Name: "S", Columns: []schema.Column{
+		{Name: "SNO", Type: value.KindString},
+		{Name: "SNAME", Type: value.KindString},
+		{Name: "STATUS", Type: value.KindInt},
+		{Name: "CITY", Type: value.KindString},
+	}, Key: []string{"SNO"}}, 0, []storage.Tuple{
+		{s("S1"), s("Smith"), i(20), s("London")},
+		{s("S2"), s("Jones"), i(10), s("Paris")},
+		{s("S3"), s("Blake"), i(30), s("Paris")},
+		{s("S4"), s("Clark"), i(20), s("London")},
+		{s("S5"), s("Adams"), i(30), s("Athens")},
+	}); err != nil {
+		return err
+	}
+	if err := db.Load(&schema.Relation{Name: "P", Columns: []schema.Column{
+		{Name: "PNO", Type: value.KindString},
+		{Name: "PNAME", Type: value.KindString},
+		{Name: "COLOR", Type: value.KindString},
+		{Name: "WEIGHT", Type: value.KindInt},
+		{Name: "CITY", Type: value.KindString},
+	}, Key: []string{"PNO"}}, 0, []storage.Tuple{
+		{s("P1"), s("Nut"), s("Red"), i(12), s("London")},
+		{s("P2"), s("Bolt"), s("Green"), i(17), s("Paris")},
+		{s("P3"), s("Screw"), s("Blue"), i(17), s("Oslo")},
+		{s("P4"), s("Screw"), s("Red"), i(14), s("London")},
+		{s("P5"), s("Cam"), s("Blue"), i(12), s("Paris")},
+		{s("P6"), s("Cog"), s("Red"), i(19), s("London")},
+	}); err != nil {
+		return err
+	}
+	return db.Load(&schema.Relation{Name: "SP", Columns: []schema.Column{
+		{Name: "SNO", Type: value.KindString},
+		{Name: "PNO", Type: value.KindString},
+		{Name: "QTY", Type: value.KindInt},
+		{Name: "ORIGIN", Type: value.KindString},
+	}, Key: []string{"SNO", "PNO"}}, 0, []storage.Tuple{
+		{s("S1"), s("P1"), i(300), s("London")},
+		{s("S1"), s("P2"), i(200), s("London")},
+		{s("S1"), s("P3"), i(400), s("Oslo")},
+		{s("S1"), s("P4"), i(200), s("London")},
+		{s("S1"), s("P5"), i(100), s("Paris")},
+		{s("S1"), s("P6"), i(100), s("London")},
+		{s("S2"), s("P1"), i(300), s("Paris")},
+		{s("S2"), s("P2"), i(400), s("Paris")},
+		{s("S3"), s("P2"), i(200), s("Paris")},
+		{s("S4"), s("P2"), i(200), s("London")},
+		{s("S4"), s("P4"), i(300), s("London")},
+		{s("S4"), s("P5"), i(400), s("London")},
+	})
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// SyntheticConfig parameterizes a two-relation correlated workload in the
+// paper's vocabulary: an outer relation RI of Ni tuples across Pi pages
+// and an inner relation RJ of Nj tuples across Pj pages, related through a
+// join column with a bounded domain. The performance experiments sweep
+// these knobs to regenerate the paper's cost comparisons.
+type SyntheticConfig struct {
+	Name string // experiment label
+
+	OuterTuples   int     // Ni
+	InnerTuples   int     // Nj
+	OuterPerPage  int     // tuples per page of RI (controls Pi)
+	InnerPerPage  int     // tuples per page of RJ (controls Pj)
+	JoinDomain    int     // distinct join-column values; Ni/JoinDomain duplicates per value in RI
+	Selectivity   float64 // f(i): fraction of RI tuples passing the simple predicate FILT < cutoff
+	MatchFraction float64 // fraction of RJ tuples passing the inner simple predicate
+	Seed          int64
+}
+
+// DefaultSynthetic is a medium workload whose inner relation exceeds small
+// buffer pools, the regime where nested iteration degrades.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		Name:          "default",
+		OuterTuples:   500,
+		InnerTuples:   1000,
+		OuterPerPage:  10,
+		InnerPerPage:  10,
+		JoinDomain:    100,
+		Selectivity:   1.0,
+		MatchFraction: 0.5,
+		Seed:          1987,
+	}
+}
+
+// OuterRelationName and InnerRelationName are the generated relation
+// names; queries over the workload reference them.
+const (
+	OuterRelationName = "RI"
+	InnerRelationName = "RJ"
+)
+
+// LoadSynthetic generates and loads the two relations:
+//
+//	RI(JC, VAL, FILT) — JC cycles over the join domain, VAL is a small
+//	    aggregate-comparable value, FILT in [0,100) drives f(i).
+//	RJ(JC, VAL, FILT) — JC cycles over the same domain.
+//
+// Values are deterministic for a given Seed.
+func LoadSynthetic(db *DB, cfg SyntheticConfig) error {
+	if cfg.JoinDomain <= 0 || cfg.OuterTuples <= 0 || cfg.InnerTuples <= 0 {
+		return fmt.Errorf("workload: invalid synthetic config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// FILT cycles deterministically so a cutoff of c selects exactly c%
+	// of the tuples (up to rounding): the experiments hit the paper's
+	// f(i)·Ni values precisely instead of within sampling noise.
+	outer := make([]storage.Tuple, cfg.OuterTuples)
+	for k := range outer {
+		outer[k] = storage.Tuple{
+			i(int64(k % cfg.JoinDomain)),
+			i(int64(rng.Intn(8))),
+			i(int64(k % 100)),
+		}
+	}
+	inner := make([]storage.Tuple, cfg.InnerTuples)
+	for k := range inner {
+		inner[k] = storage.Tuple{
+			i(int64(rng.Intn(cfg.JoinDomain))),
+			i(int64(rng.Intn(8))),
+			i(int64((k * 7) % 100)),
+		}
+	}
+	cols := []schema.Column{
+		{Name: "JC", Type: value.KindInt},
+		{Name: "VAL", Type: value.KindInt},
+		{Name: "FILT", Type: value.KindInt},
+	}
+	if err := db.Load(&schema.Relation{Name: OuterRelationName, Columns: cols}, cfg.OuterPerPage, outer); err != nil {
+		return err
+	}
+	return db.Load(&schema.Relation{Name: InnerRelationName, Columns: cols}, cfg.InnerPerPage, inner)
+}
+
+// FilterCutoff converts a fraction to the FILT < cutoff threshold used by
+// the generated predicates.
+func FilterCutoff(fraction float64) int {
+	c := int(fraction * 100)
+	if c < 0 {
+		c = 0
+	}
+	if c > 100 {
+		c = 100
+	}
+	return c
+}
+
+// TypeJAQuery builds the canonical type-JA benchmark query over the
+// synthetic relations: a correlated COUNT compared to the outer VAL, with
+// simple predicates realizing f(i) and the inner match fraction.
+func TypeJAQuery(cfg SyntheticConfig) string {
+	return fmt.Sprintf(`
+		SELECT JC FROM RI
+		WHERE FILT < %d AND
+		      VAL = (SELECT COUNT(VAL) FROM RJ
+		             WHERE RJ.JC = RI.JC AND RJ.FILT < %d)`,
+		FilterCutoff(cfg.Selectivity), FilterCutoff(cfg.MatchFraction))
+}
+
+// TypeJAMaxQuery is the MAX variant (no outer join needed in NEST-JA2).
+func TypeJAMaxQuery(cfg SyntheticConfig) string {
+	return fmt.Sprintf(`
+		SELECT JC FROM RI
+		WHERE FILT < %d AND
+		      VAL = (SELECT MAX(VAL) FROM RJ
+		             WHERE RJ.JC = RI.JC AND RJ.FILT < %d)`,
+		FilterCutoff(cfg.Selectivity), FilterCutoff(cfg.MatchFraction))
+}
+
+// TypeJQuery builds a type-J benchmark query (correlated IN, no
+// aggregate).
+func TypeJQuery(cfg SyntheticConfig) string {
+	return fmt.Sprintf(`
+		SELECT JC FROM RI
+		WHERE FILT < %d AND
+		      VAL IN (SELECT VAL FROM RJ
+		              WHERE RJ.JC = RI.JC AND RJ.FILT < %d)`,
+		FilterCutoff(cfg.Selectivity), FilterCutoff(cfg.MatchFraction))
+}
+
+// TypeNQuery builds a type-N benchmark query (uncorrelated IN).
+func TypeNQuery(cfg SyntheticConfig) string {
+	return fmt.Sprintf(`
+		SELECT JC FROM RI
+		WHERE FILT < %d AND
+		      JC IN (SELECT JC FROM RJ WHERE RJ.FILT < %d)`,
+		FilterCutoff(cfg.Selectivity), FilterCutoff(cfg.MatchFraction))
+}

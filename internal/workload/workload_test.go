@@ -1,0 +1,151 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func TestPaperFixturesLoad(t *testing.T) {
+	cases := []struct {
+		name   string
+		load   func(*workload.DB) error
+		tables map[string]int // relation -> tuple count
+	}{
+		{"kiessling", workload.LoadKiessling, map[string]int{"PARTS": 3, "SUPPLY": 5}},
+		{"nonequality", workload.LoadNonEquality, map[string]int{"PARTS": 3, "SUPPLY": 4}},
+		{"duplicates", workload.LoadDuplicates, map[string]int{"PARTS": 5, "SUPPLY": 3}},
+		{"suppliers", workload.LoadSuppliers, map[string]int{"S": 5, "P": 6, "SP": 12}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := workload.NewDB(8)
+			if err := c.load(db); err != nil {
+				t.Fatal(err)
+			}
+			for rel, n := range c.tables {
+				if _, ok := db.Cat.Lookup(rel); !ok {
+					t.Errorf("relation %s not in catalog", rel)
+				}
+				f, ok := db.Store.Lookup(rel)
+				if !ok {
+					t.Fatalf("relation %s not stored", rel)
+				}
+				if f.NumTuples() != n {
+					t.Errorf("%s has %d tuples, want %d", rel, f.NumTuples(), n)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadValidatesRows(t *testing.T) {
+	db := workload.NewDB(4)
+	rel := &schema.Relation{Name: "R", Columns: []schema.Column{{Name: "A", Type: value.KindInt}}}
+	err := db.Load(rel, 0, []storage.Tuple{{value.NewInt(1), value.NewInt(2)}})
+	if err == nil {
+		t.Error("arity mismatch not caught")
+	}
+	// Second Load with the same relation name fails in the catalog.
+	db2 := workload.NewDB(4)
+	if err := db2.Load(rel, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Load(rel, 0, nil); err == nil {
+		t.Error("duplicate relation not caught")
+	}
+}
+
+func TestSyntheticGeneration(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	db := workload.NewDB(8)
+	if err := workload.LoadSynthetic(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ri, _ := db.Store.Lookup(workload.OuterRelationName)
+	rj, _ := db.Store.Lookup(workload.InnerRelationName)
+	if ri.NumTuples() != cfg.OuterTuples || rj.NumTuples() != cfg.InnerTuples {
+		t.Errorf("tuple counts: %d / %d", ri.NumTuples(), rj.NumTuples())
+	}
+	wantPi := (cfg.OuterTuples + cfg.OuterPerPage - 1) / cfg.OuterPerPage
+	if ri.NumPages() != wantPi {
+		t.Errorf("Pi = %d, want %d", ri.NumPages(), wantPi)
+	}
+	// Join-column values stay within the domain.
+	ri.Scan(func(tu storage.Tuple) bool {
+		if jc := tu[0].Int(); jc < 0 || jc >= int64(cfg.JoinDomain) {
+			t.Errorf("JC %d outside domain", jc)
+			return false
+		}
+		return true
+	})
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	sum := func() int64 {
+		db := workload.NewDB(8)
+		if err := workload.LoadSynthetic(db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		rj, _ := db.Store.Lookup(workload.InnerRelationName)
+		var s int64
+		rj.Scan(func(tu storage.Tuple) bool {
+			s += tu[1].Int()
+			return true
+		})
+		return s
+	}
+	if sum() != sum() {
+		t.Error("generation not deterministic for fixed seed")
+	}
+}
+
+func TestSyntheticInvalidConfig(t *testing.T) {
+	db := workload.NewDB(8)
+	cfg := workload.DefaultSynthetic()
+	cfg.JoinDomain = 0
+	if err := workload.LoadSynthetic(db, cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFilterCutoff(t *testing.T) {
+	cases := map[float64]int{-0.5: 0, 0: 0, 0.5: 50, 1: 100, 2: 100}
+	for f, want := range cases {
+		if got := workload.FilterCutoff(f); got != want {
+			t.Errorf("FilterCutoff(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestQueryBuildersParse(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	db := workload.NewDB(8)
+	if err := workload.LoadSynthetic(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for name, sql := range map[string]string{
+		"typeJA":    workload.TypeJAQuery(cfg),
+		"typeJAMax": workload.TypeJAMaxQuery(cfg),
+		"typeJ":     workload.TypeJQuery(cfg),
+		"typeN":     workload.TypeNQuery(cfg),
+	} {
+		if _, err := parseAndResolve(db, sql); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func parseAndResolve(db *workload.DB, sql string) (any, error) {
+	qb, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	_, err = schema.Resolve(db.Cat, qb)
+	return qb, err
+}

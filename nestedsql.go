@@ -1,0 +1,410 @@
+// Package nestedsql is a reproduction of "Optimization of Nested SQL
+// Queries Revisited" (Ganski & Wong, SIGMOD 1987) as a usable library: an
+// embedded relational engine whose query processor implements the paper's
+// nested-query transformation algorithms — Kim's NEST-N-J, the corrected
+// NEST-JA2, the EXISTS/ANY/ALL extensions, and the recursive general
+// procedure — next to the System R nested-iteration baseline, over a paged
+// storage layer that measures the paper's cost metric (page I/Os).
+//
+// Quick start:
+//
+//	db := nestedsql.Open(nestedsql.WithBufferPages(8))
+//	db.LoadFixture(nestedsql.FixtureKiessling)
+//	res, _ := db.Query(`
+//	    SELECT PNUM FROM PARTS
+//	    WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+//	                 WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)`,
+//	    nestedsql.WithStrategy(nestedsql.StrategyTransform))
+//	fmt.Println(res.Rows, res.PageIO)
+//
+// The same query run with StrategyNestedIteration gives the semantic
+// ground truth; StrategyTransformKim reproduces the paper's COUNT and
+// non-equality bugs on purpose.
+package nestedsql
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Type is a column type.
+type Type uint8
+
+// The supported column types.
+const (
+	Int Type = iota
+	Float
+	String
+	Date
+)
+
+func (t Type) kind() value.Kind {
+	switch t {
+	case Int:
+		return value.KindInt
+	case Float:
+		return value.KindFloat
+	case String:
+		return value.KindString
+	case Date:
+		return value.KindDate
+	default:
+		return value.KindNull
+	}
+}
+
+// Column declares one column of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Strategy selects the query evaluation method.
+type Strategy uint8
+
+// The strategies of the reproduction.
+const (
+	// StrategyNestedIteration evaluates nested predicates tuple by tuple,
+	// as System R did — the paper's baseline and ground truth.
+	StrategyNestedIteration Strategy = iota
+	// StrategyTransform applies the paper's algorithms (NEST-N-J +
+	// NEST-JA2 via the recursive procedure) and runs the canonical form
+	// with cost-chosen joins, falling back to nested iteration for
+	// queries outside the algorithms' scope. This is the default.
+	StrategyTransform
+	// StrategyTransformKim uses Kim's original NEST-JA, reproducing the
+	// COUNT bug and the non-equality bug the paper corrects.
+	StrategyTransformKim
+)
+
+// JoinChoice forces a join method in transformed plans (for the section
+// 7.4 experiments).
+type JoinChoice uint8
+
+// The join choices.
+const (
+	JoinAuto JoinChoice = iota
+	JoinMerge
+	JoinNestedLoops
+)
+
+func (j JoinChoice) planner() planner.JoinMethod {
+	switch j {
+	case JoinMerge:
+		return planner.JoinMerge
+	case JoinNestedLoops:
+		return planner.JoinNL
+	default:
+		return planner.JoinAuto
+	}
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	eng *engine.DB
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	bufferPages int
+}
+
+// WithBufferPages sets the buffer pool size in pages — the paper's B.
+// The default is 32.
+func WithBufferPages(n int) Option {
+	return func(c *config) { c.bufferPages = n }
+}
+
+// Open creates an empty in-memory database.
+func Open(opts ...Option) *DB {
+	cfg := config{bufferPages: 32}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{eng: engine.New(cfg.bufferPages)}
+}
+
+// CreateTable defines a table. tuplesPerPage controls the stored page
+// capacity (0 uses the default); experiments use it to set relation page
+// counts precisely.
+func (db *DB) CreateTable(name string, cols []Column, tuplesPerPage int, key ...string) error {
+	rel := &schema.Relation{Name: name, Key: key}
+	for _, c := range cols {
+		rel.Columns = append(rel.Columns, schema.Column{Name: c.Name, Type: c.Type.kind()})
+	}
+	return db.eng.CreateRelation(rel, tuplesPerPage)
+}
+
+// Insert appends rows of Go values. Accepted element types: nil (NULL),
+// int, int64, float64, string, and date strings for DATE columns (M-D-YY,
+// M/D/YY, or ISO).
+func (db *DB) Insert(table string, rows ...[]any) error {
+	rel, ok := db.eng.Catalog().Lookup(table)
+	if !ok {
+		return fmt.Errorf("nestedsql: unknown table %s", table)
+	}
+	for _, row := range rows {
+		if len(row) != len(rel.Columns) {
+			return fmt.Errorf("nestedsql: row has %d values, table %s has %d columns",
+				len(row), table, len(rel.Columns))
+		}
+		t := make(storage.Tuple, len(row))
+		for i, v := range row {
+			cv, err := convertValue(v, rel.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("nestedsql: column %s: %w", rel.Columns[i].Name, err)
+			}
+			t[i] = cv
+		}
+		if err := db.eng.Insert(table, t); err != nil {
+			return err
+		}
+	}
+	return db.eng.Seal(table)
+}
+
+func convertValue(v any, want value.Kind) (value.Value, error) {
+	switch v := v.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.NewInt(int64(v)), nil
+	case int64:
+		return value.NewInt(v), nil
+	case float64:
+		return value.NewFloat(v), nil
+	case string:
+		if want == value.KindDate {
+			d, err := value.ParseDate(v)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.NewDateValue(d), nil
+		}
+		return value.NewString(v), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported Go value %T", v)
+	}
+}
+
+// QueryOption configures a single query.
+type QueryOption func(*engine.Options)
+
+// WithStrategy selects the evaluation strategy (default StrategyTransform).
+func WithStrategy(s Strategy) QueryOption {
+	return func(o *engine.Options) {
+		switch s {
+		case StrategyNestedIteration:
+			o.Strategy = engine.NestedIteration
+		case StrategyTransformKim:
+			o.Strategy = engine.TransformKim
+		default:
+			o.Strategy = engine.TransformJA2
+		}
+	}
+}
+
+// WithForcedJoins forces the join methods used for temporary-table
+// creation and for the final query, reproducing the four section 7.4
+// combinations.
+func WithForcedJoins(temp, final JoinChoice) QueryOption {
+	return func(o *engine.Options) {
+		o.Planner.TempJoin = temp.planner()
+		o.Planner.FinalJoin = final.planner()
+	}
+}
+
+// WithoutFallback makes a non-transformable query an error instead of
+// silently using nested iteration.
+func WithoutFallback() QueryOption {
+	return func(o *engine.Options) { o.NoFallback = true }
+}
+
+// PageIO is the paper's cost metric for one query.
+type PageIO struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total is reads plus writes.
+func (p PageIO) Total() int64 { return p.Reads + p.Writes }
+
+// String renders the counters.
+func (p PageIO) String() string {
+	return fmt.Sprintf("%d page I/Os (%d reads + %d writes)", p.Total(), p.Reads, p.Writes)
+}
+
+// Result is a completed query.
+type Result struct {
+	Columns  []string
+	Rows     [][]any
+	PageIO   PageIO
+	FellBack bool     // transformation fell back to nested iteration
+	Trace    []string // transformation steps and plan decisions
+}
+
+// Query executes one SQL statement. The default strategy is
+// StrategyTransform.
+func (db *DB) Query(sql string, opts ...QueryOption) (*Result, error) {
+	eopts := engine.Options{Strategy: engine.TransformJA2}
+	for _, o := range opts {
+		o(&eopts)
+	}
+	res, err := db.eng.Query(sql, eopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns:  res.Columns,
+		PageIO:   PageIO{Reads: res.Stats.Reads, Writes: res.Stats.Writes},
+		FellBack: res.FellBack,
+		Trace:    res.Trace,
+	}
+	for _, row := range res.Rows {
+		converted := make([]any, len(row))
+		for i, v := range row {
+			converted[i] = goValue(v)
+		}
+		out.Rows = append(out.Rows, converted)
+	}
+	return out, nil
+}
+
+func goValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindDate:
+		return v.DateOf().String()
+	default:
+		return v.String()
+	}
+}
+
+// Exec runs a script of semicolon-separated statements — CREATE TABLE,
+// INSERT INTO, and SELECT — returning the result of the last SELECT (nil
+// if there is none):
+//
+//	db.Exec(`
+//	    CREATE TABLE T (X INTEGER, D DATE, PRIMARY KEY (X));
+//	    INSERT INTO T VALUES (1, 7-3-79), (2, NULL);
+//	    SELECT X FROM T WHERE D < 1-1-80;`)
+func (db *DB) Exec(script string, opts ...QueryOption) (*Result, error) {
+	eopts := engine.Options{Strategy: engine.TransformJA2}
+	for _, o := range opts {
+		o(&eopts)
+	}
+	res, err := db.eng.Exec(script, eopts)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns:  res.Columns,
+		PageIO:   PageIO{Reads: res.Stats.Reads, Writes: res.Stats.Writes},
+		FellBack: res.FellBack,
+		Trace:    res.Trace,
+	}
+	for _, row := range res.Rows {
+		converted := make([]any, len(row))
+		for i, v := range row {
+			converted[i] = goValue(v)
+		}
+		out.Rows = append(out.Rows, converted)
+	}
+	return out, nil
+}
+
+// Explain returns a report of the classification, transformation steps,
+// plan decisions, and measured cost of the query under the given options.
+func (db *DB) Explain(sql string, opts ...QueryOption) (string, error) {
+	eopts := engine.Options{Strategy: engine.TransformJA2}
+	for _, o := range opts {
+		o(&eopts)
+	}
+	return db.eng.Explain(sql, eopts)
+}
+
+// Fixture names a bundled dataset from the paper.
+type Fixture uint8
+
+// The bundled fixtures.
+const (
+	// FixtureKiessling is the PARTS/SUPPLY instance of [KIE 84] used in
+	// section 5.1 (the COUNT bug).
+	FixtureKiessling Fixture = iota
+	// FixtureNonEquality is the section 5.3 instance (the "<" bug).
+	FixtureNonEquality
+	// FixtureDuplicates is the section 5.4 instance (duplicate outer
+	// join-column values).
+	FixtureDuplicates
+	// FixtureSuppliers is the S/P/SP database of the introduction.
+	FixtureSuppliers
+)
+
+// LoadFixture loads one of the paper's example databases.
+func (db *DB) LoadFixture(f Fixture) error {
+	w := &workload.DB{Cat: db.eng.Catalog(), Store: db.eng.Store()}
+	switch f {
+	case FixtureKiessling:
+		return workload.LoadKiessling(w)
+	case FixtureNonEquality:
+		return workload.LoadNonEquality(w)
+	case FixtureDuplicates:
+		return workload.LoadDuplicates(w)
+	case FixtureSuppliers:
+		return workload.LoadSuppliers(w)
+	default:
+		return fmt.Errorf("nestedsql: unknown fixture %d", f)
+	}
+}
+
+// Save writes a snapshot of the database (catalog, keys, rows, page
+// shapes, buffer size) to w; Restore rebuilds it. Snapshots are
+// self-contained binary images (gob encoded).
+func (db *DB) Save(w io.Writer) error { return db.eng.Save(w) }
+
+// Restore reads a snapshot written by Save into a new database.
+func Restore(r io.Reader) (*DB, error) {
+	eng, err := engine.Restore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// CreateIndex builds a secondary index on table.column. The planner then
+// considers an index scan for selective restrictions on that column.
+// Indexes are snapshots: inserting into the table drops them.
+func (db *DB) CreateIndex(table, column string) error {
+	return db.eng.CreateIndex(table, column)
+}
+
+// Analyze collects System R-style statistics (page and tuple counts,
+// distinct values per column) over every table; subsequent transformed
+// queries use them for selectivity-aware join choices. Run after bulk
+// loading.
+func (db *DB) Analyze() error { return db.eng.Analyze() }
+
+// ResetIOStats zeroes the database's cumulative page-I/O counters (query
+// results already report per-query deltas; this is for custom harnesses
+// that read the store directly).
+func (db *DB) ResetIOStats() { db.eng.Store().ResetStats() }
+
+// Internal exposes the underlying engine for the experiment harness and
+// tests in this module. It is not part of the stable API.
+func (db *DB) Internal() *engine.DB { return db.eng }
