@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full gate: vet, build,
+# the whole test suite under the race detector (the parallel executor
+# makes -race load-bearing, not optional), and a short run of the
+# parser fuzz target. See README "Checks" for what each layer covers.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
+
+bench:
+	$(GO) test -bench . -benchmem .

@@ -249,6 +249,36 @@ func BenchmarkGeneralNesting(b *testing.B) {
 	}
 }
 
+// ---- Morsel-driven parallel execution: sequential vs N workers ----
+
+// BenchmarkParallelNestJA2 runs a type-JA query at a scale where the
+// joins dominate, comparing the sequential NEST-JA2 pipeline against the
+// morsel-driven parallel one at 2, 4, and 8 workers. ForceParallel
+// bypasses the cost gate so every worker count actually parallelizes;
+// the pageIO metric stays comparable because parallelism does not change
+// what is read, only who reads it.
+func BenchmarkParallelNestJA2(b *testing.B) {
+	cfg := workload.SyntheticConfig{
+		Name:        "par",
+		OuterTuples: 20000, InnerTuples: 40000,
+		OuterPerPage: 10, InnerPerPage: 10,
+		JoinDomain: 2000, Selectivity: 0.5, MatchFraction: 0.5,
+		Seed: 2026,
+	}
+	sql := workload.TypeJAQuery(cfg)
+	b.Run("sequential", func(b *testing.B) {
+		benchQuery(b, mkSynthetic(64, cfg), sql, engine.Options{Strategy: engine.TransformJA2})
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchQuery(b, mkSynthetic(64, cfg), sql, engine.Options{
+				Strategy: engine.TransformJA2,
+				Planner:  planner.Options{Parallelism: w, ForceParallel: true},
+			})
+		})
+	}
+}
+
 // ---- Component micro-benchmarks ----
 
 // BenchmarkTransformOnly measures the transformation itself (no

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -51,6 +53,59 @@ func TestGoldenExperimentOutput(t *testing.T) {
 			}
 		}
 	}
+}
+
+// Parallel execution may only reorder rows — never add, drop, or change
+// them. The semantic experiments (result rows and temp-table contents, no
+// measured I/O numbers) must therefore print the same content under
+// sequential and forced-parallel execution once row order, the one thing
+// parallelism is allowed to perturb, is normalized away by sorting lines.
+// The parallel run also arms the differential oracle, so any semantic
+// divergence fails inside the engine before the comparison here.
+func TestGoldenParallelSemantics(t *testing.T) {
+	semantic := map[string]bool{
+		"countbug": true, "countfix": true, "countstar": true,
+		"noneq": true, "dups": true, "ja2": true,
+		"predicates": true, "tree": true,
+	}
+	run := func() string {
+		var buf bytes.Buffer
+		captureStdout(t, &buf, func() {
+			for _, e := range experiments {
+				if semantic[e.name] {
+					banner(e.desc)
+					e.run()
+				}
+			}
+		})
+		return buf.String()
+	}
+	seq := run()
+	parallelWorkers, forceParallel = 4, true
+	defer func() { parallelWorkers, forceParallel = 0, false }()
+	par := run()
+	got, want := sortedLines(par), sortedLines(seq)
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	n := min(len(gl), len(wl))
+	for i := range n {
+		if gl[i] != wl[i] {
+			t.Fatalf("parallel semantics diverge from sequential (%d vs %d lines); first difference:\n  parallel:   %q\n  sequential: %q",
+				len(gl), len(wl), gl[i], wl[i])
+		}
+	}
+	t.Fatalf("parallel semantics diverge from sequential: %d vs %d lines; first unmatched: %q",
+		len(gl), len(wl), append(gl, wl...)[n])
+}
+
+// sortedLines sorts the output's lines, erasing row order while keeping
+// every printed row, temp-table tuple, and banner comparable.
+func sortedLines(s string) string {
+	lines := strings.Split(s, "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
 }
 
 // captureStdout redirects os.Stdout into buf while fn runs.

@@ -22,9 +22,23 @@ func newDB(bufferPages int, load func(*workload.DB) error) *engine.DB {
 	return db
 }
 
+// parallelWorkers and forceParallel configure how the experiments execute:
+// TestGoldenParallelSemantics sets them to re-run the semantic experiments
+// on the morsel-driven parallel operators (with the differential oracle
+// armed) and compares the output against the sequential run. Zero keeps
+// everything sequential, matching experiments.golden byte for byte.
+var (
+	parallelWorkers int
+	forceParallel   bool
+)
+
 // runStrategy executes sql under a strategy and returns the result.
 func runStrategy(db *engine.DB, sql string, s engine.Strategy) *engine.Result {
-	res, err := db.Query(sql, engine.Options{Strategy: s})
+	opts := engine.Options{Strategy: s}
+	opts.Planner.Parallelism = parallelWorkers
+	opts.Planner.ForceParallel = forceParallel
+	opts.VerifyParallel = parallelWorkers > 1
+	res, err := db.Query(sql, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -78,7 +92,11 @@ func transformKeepingTemps(db *engine.DB, sql string, variant transform.Variant)
 	if err != nil {
 		panic(err)
 	}
-	pl := planner.New(db.Catalog(), db.Store(), planner.Options{KeepTemps: true})
+	pl := planner.New(db.Catalog(), db.Store(), planner.Options{
+		KeepTemps:     true,
+		Parallelism:   parallelWorkers,
+		ForceParallel: forceParallel,
+	})
 	rows, _, err := pl.Run(tr)
 	if err != nil {
 		panic(err)

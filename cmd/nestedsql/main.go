@@ -60,6 +60,8 @@ func main() {
 	tempJoin := flag.String("join-temp", "auto", "force temp-table join method: auto | merge | nl")
 	finalJoin := flag.String("join-final", "auto", "force final join method: auto | merge | nl")
 	interactive := flag.Bool("i", false, "interactive REPL (read statements from stdin)")
+	parallel := flag.Int("parallel", 0, "parallel workers for transformed plans: 0|1 sequential, n>1 workers, -1 one per CPU")
+	verifyParallel := flag.Bool("verify-parallel", false, "cross-check every parallel result against the sequential plan and nested iteration")
 	var loads csvLoads
 	flag.Var(&loads, "load", "bulk-load a CSV file: TABLE=FILE (repeatable; first line is a header)")
 	open := flag.String("open", "", "open a database snapshot instead of a fixture")
@@ -137,7 +139,7 @@ func main() {
 	defer saveAndExit()
 
 	if *interactive {
-		repl(db, os.Stdin, true)
+		repl(db, os.Stdin, true, *parallel, *verifyParallel)
 		return
 	}
 	sql, err := readQuery(flag.Args())
@@ -148,6 +150,12 @@ func main() {
 	opts := []nestedsql.QueryOption{
 		nestedsql.WithStrategy(strat),
 		nestedsql.WithForcedJoins(tj, fj),
+	}
+	if *parallel != 0 {
+		opts = append(opts, nestedsql.WithParallelism(*parallel))
+	}
+	if *verifyParallel {
+		opts = append(opts, nestedsql.WithParallelVerify())
 	}
 	if *explain {
 		rep, err := db.Explain(sql, opts...)

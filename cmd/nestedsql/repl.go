@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	nestedsql "repro"
@@ -12,8 +13,9 @@ import (
 
 // repl reads statements (terminated by ';') from the reader and executes
 // them, printing results. Meta commands: \d lists tables, \strategy sets
-// the evaluation strategy, \explain toggles EXPLAIN mode, \q quits.
-func repl(db *nestedsql.DB, in io.Reader, interactive bool) {
+// the evaluation strategy, \explain toggles EXPLAIN mode, \parallel sets
+// the worker count, \q quits.
+func repl(db *nestedsql.DB, in io.Reader, interactive bool, parallel int, verifyParallel bool) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -39,7 +41,7 @@ func repl(db *nestedsql.DB, in io.Reader, interactive bool) {
 			continue
 		}
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !metaCommand(db, trimmed, &strategy, &explain) {
+			if !metaCommand(db, trimmed, &strategy, &explain, &parallel, &verifyParallel) {
 				return
 			}
 			prompt()
@@ -48,18 +50,18 @@ func repl(db *nestedsql.DB, in io.Reader, interactive bool) {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			runStatement(db, buf.String(), strategy, explain)
+			runStatement(db, buf.String(), strategy, explain, parallel, verifyParallel)
 			buf.Reset()
 		}
 		prompt()
 	}
 	if buf.Len() > 0 {
-		runStatement(db, buf.String(), strategy, explain)
+		runStatement(db, buf.String(), strategy, explain, parallel, verifyParallel)
 	}
 }
 
 // metaCommand handles backslash commands; it returns false to quit.
-func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, explain *bool) bool {
+func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, explain *bool, parallel *int, verifyParallel *bool) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\q`, `\quit`:
@@ -88,6 +90,21 @@ func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, exp
 	case `\explain`:
 		*explain = !*explain
 		fmt.Printf("explain mode: %v\n", *explain)
+	case `\parallel`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\parallel N  (0|1 sequential, N>1 workers, -1 one per CPU)")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Printf("bad worker count %q\n", fields[1])
+			break
+		}
+		*parallel = n
+		fmt.Printf("parallel workers set to %d\n", n)
+	case `\verify`:
+		*verifyParallel = !*verifyParallel
+		fmt.Printf("parallel verification: %v\n", *verifyParallel)
 	case `\index`:
 		if len(fields) != 3 {
 			fmt.Println("usage: \\index TABLE COLUMN")
@@ -105,16 +122,22 @@ func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, exp
 		}
 		fmt.Println("statistics collected")
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\analyze, \\index, \\q)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\analyze, \\index, \\q)\n", fields[0])
 	}
 	return true
 }
 
-func runStatement(db *nestedsql.DB, sql string, strategy nestedsql.Strategy, explain bool) {
+func runStatement(db *nestedsql.DB, sql string, strategy nestedsql.Strategy, explain bool, parallel int, verifyParallel bool) {
 	if strings.TrimSpace(strings.Trim(strings.TrimSpace(sql), ";")) == "" {
 		return
 	}
 	opts := []nestedsql.QueryOption{nestedsql.WithStrategy(strategy)}
+	if parallel != 0 {
+		opts = append(opts, nestedsql.WithParallelism(parallel))
+	}
+	if verifyParallel {
+		opts = append(opts, nestedsql.WithParallelVerify())
+	}
 	if explain {
 		rep, err := db.Explain(sql, opts...)
 		if err != nil {

@@ -30,7 +30,7 @@ func runREPL(t *testing.T, db *nestedsql.DB, script string) string {
 		}
 		done <- b.String()
 	}()
-	repl(db, strings.NewReader(script), false)
+	repl(db, strings.NewReader(script), false, 0, false)
 	w.Close()
 	out := <-done
 	os.Stdout = old
@@ -47,6 +47,8 @@ func TestREPLSession(t *testing.T) {
 SELECT PNUM FROM PARTS
 WHERE QOH = 0;
 \strategy kim
+\parallel 4
+\verify
 \analyze
 \index PARTS PNUM
 \explain
@@ -58,6 +60,8 @@ SELECT PNUM FROM PARTS WHERE PNUM = 99;
 	for _, frag := range []string{
 		"PARTS(PNUM INTEGER, QOH INTEGER)", // \d
 		"strategy set to kim",
+		"parallel workers set to 4",
+		"parallel verification: true",
 		"statistics collected",
 		"index created on PARTS.PNUM",
 		"explain mode: true",

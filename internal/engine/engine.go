@@ -175,6 +175,12 @@ type Options struct {
 	// NoFallback makes a non-transformable query an error instead of
 	// falling back to nested iteration.
 	NoFallback bool
+	// VerifyParallel runs the differential oracle after a parallel
+	// transformed query: the result must be bag-equal to the sequential
+	// plan's and (for NEST-JA2, excluding ALL quantifiers) set-equal to
+	// nested iteration's. Disagreement fails the query. It has no effect
+	// unless Planner.Parallelism enables parallel plans.
+	VerifyParallel bool
 }
 
 // Result is a completed query.
@@ -220,6 +226,12 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Stats = db.store.Stats().Sub(before)
+	if opts.VerifyParallel && parallelRequested(opts) && !res.FellBack &&
+		(opts.Strategy == TransformJA2 || opts.Strategy == TransformKim) {
+		if err := db.verifyParallel(sql, qb, opts, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 

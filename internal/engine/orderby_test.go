@@ -127,6 +127,47 @@ func TestHavingOnGroupColumnName(t *testing.T) {
 	}
 }
 
+// TestOrderByUnderParallelism is the regression test for ordering
+// nondeterminism: workers finish in arbitrary order, so a parallel plan
+// must place the ORDER BY sort above the exchange (parallel nodes report
+// no sort order, forbidding the section 7.4 sort elisions). The full
+// ordered row string — not a sorted bag — must match the sequential plan
+// on every run.
+func TestOrderByUnderParallelism(t *testing.T) {
+	popts := func() engine.Options {
+		o := engine.Options{Strategy: engine.TransformJA2, NoFallback: true}
+		o.Planner.Parallelism = 4
+		o.Planner.ForceParallel = true
+		return o
+	}
+	t.Run("aggregate", func(t *testing.T) {
+		db := newDB(t, 8, workload.LoadSuppliers)
+		sql := `SELECT ORIGIN, COUNT(QTY) AS CT FROM SP GROUP BY ORIGIN ORDER BY CT DESC, ORIGIN`
+		seq := query(t, db, sql, engine.Options{Strategy: engine.TransformJA2})
+		sawParallel := false
+		for range 25 { // ordering bugs are racy: one pass is not evidence
+			par := query(t, db, sql, popts())
+			if got, want := rowsInOrder(par), rowsInOrder(seq); got != want {
+				t.Fatalf("parallel order = %v, want %v", got, want)
+			}
+			sawParallel = sawParallel || usedParallel(par)
+		}
+		if !sawParallel {
+			t.Error("no run used a parallel plan; test exercises nothing")
+		}
+	})
+	t.Run("nested", func(t *testing.T) {
+		db := newDB(t, 8, workload.LoadDuplicates)
+		sql := workload.KiesslingQ2 + " ORDER BY PNUM DESC"
+		for range 25 {
+			par := query(t, db, sql, popts())
+			if got := rowsInOrder(par); got != "(10) (8) (3)" {
+				t.Fatalf("parallel nested order = %v, want (10) (8) (3)", got)
+			}
+		}
+	})
+}
+
 func TestHavingErrors(t *testing.T) {
 	db := newDB(t, 8, workload.LoadSuppliers)
 	cases := []string{

@@ -53,17 +53,45 @@ func describe(b *strings.Builder, op Operator, indent string) {
 		fmt.Fprintf(b, "%s(right=%s, %d pages)\n", kind, op.Right.Name(), op.Right.NumPages())
 		describe(b, op.Left, child)
 	case *GroupAgg:
-		items := make([]string, len(op.Items))
-		for i, it := range op.Items {
-			if it.Agg == 0 {
-				items[i] = it.Out.String()
-			} else {
-				items[i] = fmt.Sprintf("%s#%d", it.Agg, it.Col)
-			}
-		}
-		fmt.Fprintf(b, "GroupAgg(group=%v, out=[%s])\n", op.GroupCols, strings.Join(items, ", "))
+		fmt.Fprintf(b, "GroupAgg(group=%v, out=[%s])\n", op.GroupCols, describeItems(op.Items))
 		describe(b, op.Child, child)
+	case *ExchangeMerge:
+		fmt.Fprintf(b, "ExchangeMerge(workers=%d)\n", op.Source.NumWorkers())
+		describeSource(b, op.Source, child)
 	default:
 		fmt.Fprintf(b, "%T\n", op)
 	}
+}
+
+// describeSource renders the parallel fragment under an ExchangeMerge.
+func describeSource(b *strings.Builder, src ParallelSource, indent string) {
+	b.WriteString(indent)
+	child := indent + "  "
+	switch src := src.(type) {
+	case *ParallelHashJoin:
+		kind := "ParallelHashJoin"
+		if src.Outer {
+			kind = "OuterParallelHashJoin"
+		}
+		fmt.Fprintf(b, "%s(left#%d = right#%d, workers=%d)\n", kind, src.LeftKey, src.RightKey, src.NumWorkers())
+		describe(b, src.Left, child)
+		describe(b, src.Right, child)
+	case *ParallelHashGroup:
+		fmt.Fprintf(b, "ParallelHashGroup(group=%v, out=[%s], workers=%d)\n", src.GroupCols, describeItems(src.Items), src.NumWorkers())
+		describe(b, src.Child, child)
+	default:
+		fmt.Fprintf(b, "%T\n", src)
+	}
+}
+
+func describeItems(items []GroupItem) string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		if it.Agg == 0 {
+			out[i] = it.Out.String()
+		} else {
+			out[i] = fmt.Sprintf("%s#%d", it.Agg, it.Col)
+		}
+	}
+	return strings.Join(out, ", ")
 }

@@ -1,0 +1,557 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file implements morsel-driven parallel execution. A distributor
+// goroutine pulls the (single-threaded) child iterator and hash-partitions
+// its tuples by join/group key into per-worker channels of "morsels" —
+// batches of tuples that amortize channel synchronization. Workers do pure
+// in-memory hash join / hash aggregation on their partition and push output
+// morsels into a shared channel; ExchangeMerge drains that channel back
+// into the pull-iterator model.
+//
+// Partitioning by key hash is what preserves the paper's COUNT-bug
+// semantics under parallelism: every row of a given key lands on exactly
+// one worker, so an outer-join pad (the NULL row that makes COUNT(col)
+// yield 0 for an empty group) is emitted by exactly one worker, and a
+// group's accumulators never need cross-worker merging.
+//
+// Output order is nondeterministic — workers interleave. Plan builders must
+// treat exchange output as unsorted (sort above it for ORDER BY, GROUP BY
+// on sorted streams, or merge joins).
+
+// Morsel is a batch of tuples moved between parallel workers.
+type Morsel []storage.Tuple
+
+// MorselSize is the batch size used by distributors and workers.
+const MorselSize = 256
+
+// exchange carries worker output back to the consuming goroutine, plus the
+// control channels that make early Close safe: closing stop unblocks any
+// producer waiting to send, and wg tracks producer goroutines so Close can
+// wait for all of them to exit before returning (no goroutine leaks).
+type exchange struct {
+	out  chan Morsel
+	errc chan error
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// send delivers a morsel to the consumer; it returns false when the
+// consumer has closed the exchange and the producer should exit.
+func (ex *exchange) send(m Morsel) bool {
+	select {
+	case ex.out <- m:
+		return true
+	case <-ex.stop:
+		return false
+	}
+}
+
+// fail records the first error; later errors are dropped.
+func (ex *exchange) fail(err error) {
+	select {
+	case ex.errc <- err:
+	default:
+	}
+}
+
+// ParallelSource is a plan fragment that produces rows through worker
+// goroutines. ExchangeMerge is its only consumer; run must register every
+// goroutine it starts with ex.wg before returning.
+type ParallelSource interface {
+	Open() error
+	Close() error
+	Schema() RowSchema
+	// NumWorkers reports the worker count (for sizing the exchange).
+	NumWorkers() int
+	run(ex *exchange)
+}
+
+// ExchangeMerge adapts a ParallelSource back into the pull-based Operator
+// interface: Open starts the source's goroutines, Next drains their merged
+// output one tuple at a time, Close stops and joins them. It is the
+// single synchronization point between the parallel fragment below and the
+// sequential plan above.
+type ExchangeMerge struct {
+	Source ParallelSource
+
+	ex  *exchange
+	cur Morsel
+	idx int
+}
+
+// Open opens the source and starts its distributor and workers.
+func (e *ExchangeMerge) Open() error {
+	if err := e.Source.Open(); err != nil {
+		return err
+	}
+	w := e.Source.NumWorkers()
+	ex := &exchange{
+		out:  make(chan Morsel, 2*w),
+		errc: make(chan error, w+1),
+		stop: make(chan struct{}),
+	}
+	e.ex, e.cur, e.idx = ex, nil, 0
+	e.Source.run(ex)
+	go func() {
+		ex.wg.Wait()
+		close(ex.out)
+	}()
+	return nil
+}
+
+// Next returns the next tuple from any worker, in arrival order.
+func (e *ExchangeMerge) Next() (storage.Tuple, bool, error) {
+	if e.ex == nil {
+		return nil, false, nil
+	}
+	for {
+		if e.idx < len(e.cur) {
+			t := e.cur[e.idx]
+			e.idx++
+			return t, true, nil
+		}
+		m, ok := <-e.ex.out
+		if !ok {
+			// All producers exited; surface a recorded error, if any.
+			select {
+			case err := <-e.ex.errc:
+				return nil, false, err
+			default:
+				return nil, false, nil
+			}
+		}
+		e.cur, e.idx = m, 0
+	}
+}
+
+// Close signals producers to stop, waits for every goroutine to exit, and
+// closes the source. It is safe to call before the output is fully drained
+// (e.g. a LIMIT-style consumer) and safe to call more than once.
+func (e *ExchangeMerge) Close() error {
+	if e.ex != nil {
+		close(e.ex.stop)
+		// Drain until the closer goroutine closes out (after wg.Wait), so
+		// no producer is left blocked on a full channel.
+		for range e.ex.out {
+		}
+		e.ex.wg.Wait()
+		e.ex, e.cur = nil, nil
+	}
+	return e.Source.Close()
+}
+
+// Schema is the source's schema.
+func (e *ExchangeMerge) Schema() RowSchema { return e.Source.Schema() }
+
+// defaultWorkers resolves a configured worker count: non-positive means
+// one worker per CPU.
+func defaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ParallelHashJoin is an equality hash join executed by Workers goroutines.
+// Open drains the Right (build) side sequentially, partitioning it by key
+// hash; run starts a distributor that partitions the Left (probe) side the
+// same way, so matching keys meet on the same worker. Semantics match
+// MergeJoin: rows whose join key is NULL match nothing, and with Outer set
+// every unmatched left row is emitted NULL-padded — the left outer join
+// NEST-JA2's COUNT fix depends on.
+type ParallelHashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey int
+	Outer             bool
+	// Workers is the worker-goroutine count; <= 0 means runtime.NumCPU().
+	Workers int
+
+	sch        RowSchema
+	rightWidth int
+	buildParts [][]storage.Tuple
+}
+
+// NumWorkers reports the resolved worker count.
+func (j *ParallelHashJoin) NumWorkers() int { return defaultWorkers(j.Workers) }
+
+// Open opens both children and builds the partitioned hash-table input
+// from the right side. The build scan happens on the calling goroutine, so
+// storage access stays sequential.
+func (j *ParallelHashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
+		return err
+	}
+	j.sch = j.Left.Schema().Concat(j.Right.Schema())
+	j.rightWidth = len(j.Right.Schema())
+	w := j.NumWorkers()
+	j.buildParts = make([][]storage.Tuple, w)
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		k := t[j.RightKey]
+		if k.IsNull() {
+			continue // NULL build keys can never match
+		}
+		p := int(k.Hash() % uint64(w))
+		j.buildParts[p] = append(j.buildParts[p], t)
+	}
+}
+
+func (j *ParallelHashJoin) run(ex *exchange) {
+	w := j.NumWorkers()
+	inputs := make([]chan Morsel, w)
+	for i := range inputs {
+		inputs[i] = make(chan Morsel, 2)
+	}
+	ex.wg.Add(w + 1)
+	go j.distribute(ex, inputs)
+	for i := range w {
+		go j.worker(ex, i, inputs[i])
+	}
+}
+
+// distribute pulls the probe side and routes tuples to workers by key
+// hash. NULL probe keys match nothing regardless of worker, so they are
+// routed to worker 0, which pads them when Outer.
+func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
+	defer ex.wg.Done()
+	defer func() {
+		for _, ch := range inputs {
+			close(ch)
+		}
+	}()
+	w := len(inputs)
+	bufs := make([]Morsel, w)
+	flush := func(i int) bool {
+		if len(bufs[i]) == 0 {
+			return true
+		}
+		m := bufs[i]
+		bufs[i] = nil
+		select {
+		case inputs[i] <- m:
+			return true
+		case <-ex.stop:
+			return false
+		}
+	}
+	for {
+		t, ok, err := j.Left.Next()
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		if !ok {
+			break
+		}
+		p := 0
+		if k := t[j.LeftKey]; !k.IsNull() {
+			p = int(k.Hash() % uint64(w))
+		}
+		bufs[p] = append(bufs[p], t)
+		if len(bufs[p]) >= MorselSize {
+			if !flush(p) {
+				return
+			}
+		}
+	}
+	for i := range bufs {
+		if !flush(i) {
+			return
+		}
+	}
+}
+
+func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
+	defer ex.wg.Done()
+	table := make(map[uint64][]storage.Tuple)
+	for _, r := range j.buildParts[id] {
+		h := r[j.RightKey].Hash()
+		table[h] = append(table[h], r)
+	}
+	var out Morsel
+	emit := func(t storage.Tuple) bool {
+		out = append(out, t)
+		if len(out) >= MorselSize {
+			m := out
+			out = nil
+			return ex.send(m)
+		}
+		return true
+	}
+	for m := range in {
+		for _, l := range m {
+			matched := false
+			if k := l[j.LeftKey]; !k.IsNull() {
+				for _, r := range table[k.Hash()] {
+					if !r[j.RightKey].Equal(k) {
+						continue // hash collision
+					}
+					matched = true
+					row := make(storage.Tuple, 0, len(l)+j.rightWidth)
+					row = append(row, l...)
+					row = append(row, r...)
+					if !emit(row) {
+						return
+					}
+				}
+			}
+			if !matched && j.Outer {
+				row := make(storage.Tuple, 0, len(l)+j.rightWidth)
+				row = append(row, l...)
+				for range j.rightWidth {
+					row = append(row, value.Null)
+				}
+				if !emit(row) {
+					return
+				}
+			}
+		}
+	}
+	if len(out) > 0 {
+		ex.send(out)
+	}
+}
+
+// Close releases the build partitions and closes both children.
+func (j *ParallelHashJoin) Close() error {
+	j.buildParts = nil
+	err := j.Left.Close()
+	if err2 := j.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Schema is the concatenation of the children's schemas.
+func (j *ParallelHashJoin) Schema() RowSchema {
+	if j.sch == nil {
+		return j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.sch
+}
+
+// groupState is one group's accumulated state on one worker.
+type groupState struct {
+	key  []value.Value
+	accs []*value.Accumulator
+}
+
+// ParallelHashGroup is GROUP BY aggregation executed by Workers goroutines
+// over an unsorted input. The distributor routes every row of a group key
+// to the same worker (hash partitioning on the full key), so each group is
+// aggregated entirely on one worker and no accumulator merging — with its
+// COUNT-vs-COUNT(*) and MAX({}) = NULL subtleties — is ever needed.
+//
+// With no grouping columns it is a global aggregate: all rows go to worker
+// 0, which emits exactly one row even over empty input (COUNT = 0), the
+// nested-iteration semantics NEST-JA2 must preserve.
+type ParallelHashGroup struct {
+	Child     Operator
+	GroupCols []int
+	Items     []GroupItem
+	// Workers is the worker-goroutine count; <= 0 means runtime.NumCPU().
+	Workers int
+
+	sch RowSchema
+}
+
+// NumWorkers reports the resolved worker count.
+func (g *ParallelHashGroup) NumWorkers() int { return defaultWorkers(g.Workers) }
+
+// Open opens the child.
+func (g *ParallelHashGroup) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	g.sch = make(RowSchema, len(g.Items))
+	for i, it := range g.Items {
+		g.sch[i] = it.Out
+	}
+	return nil
+}
+
+func (g *ParallelHashGroup) run(ex *exchange) {
+	w := g.NumWorkers()
+	inputs := make([]chan Morsel, w)
+	for i := range inputs {
+		inputs[i] = make(chan Morsel, 2)
+	}
+	ex.wg.Add(w + 1)
+	go g.distribute(ex, inputs)
+	for i := range w {
+		go g.worker(ex, i, inputs[i])
+	}
+}
+
+// keyHash combines the group-key column hashes. Values that are Equal
+// (NULL with NULL, int with equal float) hash identically, so a group
+// never splits across workers.
+func (g *ParallelHashGroup) keyHash(t storage.Tuple) uint64 {
+	var h uint64
+	for _, c := range g.GroupCols {
+		h = h*1099511628211 + t[c].Hash()
+	}
+	return h
+}
+
+func (g *ParallelHashGroup) distribute(ex *exchange, inputs []chan Morsel) {
+	defer ex.wg.Done()
+	defer func() {
+		for _, ch := range inputs {
+			close(ch)
+		}
+	}()
+	w := len(inputs)
+	bufs := make([]Morsel, w)
+	flush := func(i int) bool {
+		if len(bufs[i]) == 0 {
+			return true
+		}
+		m := bufs[i]
+		bufs[i] = nil
+		select {
+		case inputs[i] <- m:
+			return true
+		case <-ex.stop:
+			return false
+		}
+	}
+	for {
+		t, ok, err := g.Child.Next()
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		if !ok {
+			break
+		}
+		p := 0
+		if len(g.GroupCols) > 0 {
+			p = int(g.keyHash(t) % uint64(w))
+		}
+		bufs[p] = append(bufs[p], t)
+		if len(bufs[p]) >= MorselSize {
+			if !flush(p) {
+				return
+			}
+		}
+	}
+	for i := range bufs {
+		if !flush(i) {
+			return
+		}
+	}
+}
+
+func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
+	defer ex.wg.Done()
+	groups := make(map[uint64][]*groupState)
+	var order []*groupState
+	newState := func(key []value.Value) *groupState {
+		accs := make([]*value.Accumulator, len(g.Items))
+		for i, it := range g.Items {
+			if it.Agg != value.AggNone {
+				accs[i] = value.NewAccumulator(it.Agg)
+			}
+		}
+		gs := &groupState{key: key, accs: accs}
+		order = append(order, gs)
+		return gs
+	}
+	for m := range in {
+		for _, t := range m {
+			key := make([]value.Value, len(g.GroupCols))
+			for i, c := range g.GroupCols {
+				key[i] = t[c]
+			}
+			h := g.keyHash(t)
+			var gs *groupState
+			for _, cand := range groups[h] {
+				if sameKey(cand.key, key) {
+					gs = cand
+					break
+				}
+			}
+			if gs == nil {
+				gs = newState(key)
+				groups[h] = append(groups[h], gs)
+			}
+			for i, it := range g.Items {
+				if it.Agg == value.AggNone {
+					continue
+				}
+				v := value.NewInt(1)
+				if it.Agg != value.AggCountStar {
+					v = t[it.Col]
+				}
+				if err := gs.accs[i].Add(v); err != nil {
+					ex.fail(err)
+					return
+				}
+			}
+		}
+	}
+	if id == 0 && len(g.GroupCols) == 0 && len(order) == 0 {
+		// Global aggregate over empty input: one row, COUNT = 0.
+		newState(nil)
+	}
+	var out Morsel
+	for _, gs := range order {
+		row := make(storage.Tuple, len(g.Items))
+		for i, it := range g.Items {
+			if it.Agg == value.AggNone {
+				for jdx, gc := range g.GroupCols {
+					if gc == it.Col {
+						row[i] = gs.key[jdx]
+						break
+					}
+				}
+			} else {
+				row[i] = gs.accs[i].Result()
+			}
+		}
+		out = append(out, row)
+		if len(out) >= MorselSize {
+			if !ex.send(out) {
+				return
+			}
+			out = nil
+		}
+	}
+	if len(out) > 0 {
+		ex.send(out)
+	}
+}
+
+// Close closes the child.
+func (g *ParallelHashGroup) Close() error { return g.Child.Close() }
+
+// Schema lists the configured output columns.
+func (g *ParallelHashGroup) Schema() RowSchema {
+	if g.sch == nil {
+		sch := make(RowSchema, len(g.Items))
+		for i, it := range g.Items {
+			sch[i] = it.Out
+		}
+		return sch
+	}
+	return g.sch
+}

@@ -89,8 +89,15 @@ func (p *Planner) finishGroup(cur input, qb *ast.QueryBlock, label string) (inpu
 		}
 		groupCols[i] = idx
 	}
+	// A parallel hash aggregation needs no GROUP BY sort at all: the
+	// distributor partitions rows by the full group key, so each group is
+	// aggregated on exactly one worker. It only applies to real grouping
+	// (a global aggregate has one group and cannot be partitioned) and its
+	// output order is nondeterministic.
+	parallelGroup := len(groupCols) > 0 && p.parallelOK(cur.tuples) &&
+		!(len(groupCols) == 1 && cur.sortedOn == groupCols[0])
 	op := cur.op
-	if len(groupCols) > 0 {
+	if len(groupCols) > 0 && !parallelGroup {
 		if len(groupCols) == 1 && cur.sortedOn == groupCols[0] {
 			p.notef("%s: input already in GROUP BY order, sort elided", label)
 		} else {
@@ -122,7 +129,20 @@ func (p *Planner) finishGroup(cur input, qb *ast.QueryBlock, label string) (inpu
 		}
 		items[i] = exec.GroupItem{Agg: sel.Agg, Col: idx, Out: out}
 	}
-	var out exec.Operator = &exec.GroupAgg{Child: op, GroupCols: groupCols, Items: items}
+	var out exec.Operator
+	if parallelGroup {
+		w := p.opts.workers()
+		out = &exec.ExchangeMerge{Source: &exec.ParallelHashGroup{
+			Child:     op,
+			GroupCols: groupCols,
+			Items:     items,
+			Workers:   w,
+		}}
+		sortedOut = -1 // worker output interleaves nondeterministically
+		p.notef("%s: parallel hash aggregation over %d group column(s) (%d workers)", label, len(groupCols), w)
+	} else {
+		out = &exec.GroupAgg{Child: op, GroupCols: groupCols, Items: items}
+	}
 	if len(qb.Having) > 0 {
 		having := append([]ast.HavingPred(nil), qb.Having...)
 		out = &exec.Filter{Child: out, Pred: func(t storage.Tuple) (value.Tri, error) {

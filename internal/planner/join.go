@@ -45,6 +45,14 @@ func (p *Planner) join(cur, right input, tr ast.TableRef, conjs []ast.Predicate,
 	lkey, rkey, rest := p.mergeKeys(cur, right, joinConjs, outer)
 	canMerge := lkey >= 0 && (!outer || len(rest) == 0)
 
+	// A parallel hash join has the same applicability shape as a merge
+	// join (one equality key; an outer join's condition evaluated in one
+	// place). It is considered only under JoinAuto — a forced method
+	// reproduces the paper's sequential experiments exactly.
+	if force == JoinAuto && canMerge && p.parallelOK(cur.tuples+right.tuples) {
+		return p.parallelHashJoin(cur, right, lkey, rkey, rest, outer, label)
+	}
+
 	method := force
 	if method == JoinAuto {
 		method = p.chooseMethod(cur, right)
@@ -115,6 +123,53 @@ func (p *Planner) mergeKeys(cur, right input, joinConjs []ast.Predicate, outer b
 		}
 	}
 	return lkey, rkey, rest
+}
+
+// parallelOK reports whether a parallel operator over an input of the
+// given estimated cardinality should be used: parallelism must be enabled
+// and the input large enough to amortize the per-worker setup cost (or the
+// gate overridden for tests).
+func (p *Planner) parallelOK(tuples float64) bool {
+	w := p.opts.workers()
+	if w <= 1 {
+		return false
+	}
+	return p.opts.ForceParallel || costmodel.ParallelWorthwhile(tuples, w)
+}
+
+// parallelHashJoin builds a hash join partitioned across workers behind an
+// ExchangeMerge. Workers interleave nondeterministically, so the result
+// reports no sort order: GROUP BY, DISTINCT, merge joins, and ORDER BY
+// above it keep their sorts (no section 7.4 elision applies).
+func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, rest []ast.Predicate, outer bool, label string) (input, error) {
+	w := p.opts.workers()
+	src := &exec.ParallelHashJoin{
+		Left:     cur.op,
+		Right:    right.op,
+		LeftKey:  lkey,
+		RightKey: rkey,
+		Outer:    outer,
+		Workers:  w,
+	}
+	kind := "parallel hash join"
+	if outer {
+		kind = "outer parallel hash join"
+	}
+	p.notef("%s: %s %s with %s (%d workers)", label, kind, cur.op.Schema()[lkey], right.op.Schema()[rkey], w)
+	var op exec.Operator = &exec.ExchangeMerge{Source: src}
+	if len(rest) > 0 {
+		pred, err := exec.CompileConjuncts(rest, op.Schema())
+		if err != nil {
+			return input{}, err
+		}
+		op = &exec.Filter{Child: op, Pred: pred}
+	}
+	return input{
+		op:       op,
+		pages:    cur.pages + right.pages,
+		tuples:   p.keyCardinality(cur, right, lkey, rkey),
+		sortedOn: -1, // exchange output order is nondeterministic
+	}, nil
 }
 
 // chooseMethod estimates both join methods with the section 7 cost model

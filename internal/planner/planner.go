@@ -15,6 +15,7 @@ package planner
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/ast"
 	"repro/internal/exec"
@@ -68,6 +69,25 @@ type Options struct {
 	// Indexes, when set, lets the planner replace a sequential scan with
 	// an index scan for selective single-column restrictions.
 	Indexes *index.Registry
+	// Parallelism enables the morsel-driven parallel operators: 0 or 1
+	// keeps every plan sequential, n > 1 uses n workers, and a negative
+	// value uses one worker per CPU. Parallel plans produce rows in
+	// nondeterministic order, so the planner treats exchange output as
+	// unsorted (no section 7.4 elisions above it).
+	Parallelism int
+	// ForceParallel bypasses the cost-model gate so even small inputs run
+	// parallel plans — used by tests and the differential oracle to
+	// exercise the parallel operators on tiny generated databases.
+	ForceParallel bool
+}
+
+// workers resolves the Parallelism option to a worker count; values <= 1
+// disable parallel plans.
+func (o Options) workers() int {
+	if o.Parallelism < 0 {
+		return runtime.NumCPU()
+	}
+	return o.Parallelism
 }
 
 // Planner plans and executes one transformed query. Single-use.

@@ -19,6 +19,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/value"
 )
@@ -103,7 +104,13 @@ func (f *HeapFile) TuplesPerPage() int { return f.tuplesPerPage }
 // accounted for. Appending to a sealed file reopens it: the next Seal
 // re-counts the trailing partial page, modeling the rewrite of a page
 // that had already gone to disk.
+//
+// A file has a single writer at a time, but the parallel executor lets one
+// goroutine append to a temp file while another scans a different file, so
+// the shared store state (I/O counters, buffer pool) is mutex-protected.
 func (f *HeapFile) Append(t Tuple) {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
 	f.sealed = false
 	if len(f.pages) == 0 || len(f.pages[len(f.pages)-1].tuples) == f.tuplesPerPage {
 		f.pages = append(f.pages, &page{tuples: make([]Tuple, 0, f.tuplesPerPage)})
@@ -119,6 +126,8 @@ func (f *HeapFile) Append(t Tuple) {
 // Seal finishes the file: the trailing partial page, if any, is counted as
 // one write. Seal is idempotent.
 func (f *HeapFile) Seal() {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
 	if f.sealed {
 		return
 	}
@@ -131,6 +140,8 @@ func (f *HeapFile) Seal() {
 // ReadPage fetches page i through the buffer pool, counting a read on a
 // miss. The returned slice must not be mutated.
 func (f *HeapFile) ReadPage(i int) []Tuple {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
 	if i < 0 || i >= len(f.pages) {
 		panic(fmt.Sprintf("storage: page %d out of range for %s (%d pages)", i, f.name, len(f.pages)))
 	}
@@ -143,6 +154,8 @@ func (f *HeapFile) ReadPage(i int) []Tuple {
 // merge buffers, so its I/O follows the 2·P·log_{B-1}(P) model rather than
 // LRU caching.
 func (f *HeapFile) ReadPageDirect(i int) []Tuple {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
 	if i < 0 || i >= len(f.pages) {
 		panic(fmt.Sprintf("storage: page %d out of range for %s (%d pages)", i, f.name, len(f.pages)))
 	}
@@ -185,10 +198,12 @@ func (f *HeapFile) Rewrite(keep func(Tuple) (bool, Tuple)) int {
 			kept = append(kept, t)
 		}
 	}
+	f.store.mu.Lock()
 	f.store.pool.invalidate(f)
 	f.pages = nil
 	f.nTuples = 0
 	f.sealed = false
+	f.store.mu.Unlock()
 	for _, t := range kept {
 		f.Append(t)
 	}
@@ -253,8 +268,13 @@ func (p *bufferPool) invalidate(f *HeapFile) {
 	p.lru = out
 }
 
-// Store owns heap files, the buffer pool, and the I/O statistics.
+// Store owns heap files, the buffer pool, and the I/O statistics. The
+// mutex serializes access to the shared state (counters, pool residency,
+// file map) so the parallel executor's distributor goroutine can scan one
+// file while the consuming goroutine materializes another; page contents
+// themselves still have a single writer per file.
 type Store struct {
+	mu    sync.Mutex
 	pool  *bufferPool
 	files map[string]*HeapFile
 	stats IOStats
@@ -278,17 +298,35 @@ func NewStore(bufferPages int) *Store {
 func (s *Store) BufferPages() int { return s.pool.capacity }
 
 // Stats returns the cumulative I/O counters.
-func (s *Store) Stats() IOStats { return s.stats }
+func (s *Store) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // ResetStats zeroes the I/O counters.
-func (s *Store) ResetStats() { s.stats = IOStats{} }
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = IOStats{}
+}
 
 // ChargeReads adds n page reads to the counters. Access structures that
 // manage their own pages (indexes) use it to charge their I/O.
-func (s *Store) ChargeReads(n int64) { s.stats.Reads += n }
+func (s *Store) ChargeReads(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Reads += n
+}
 
 // Create makes a new, empty heap file. tuplesPerPage <= 0 uses the default.
 func (s *Store) Create(name string, tuplesPerPage int) (*HeapFile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.create(name, tuplesPerPage)
+}
+
+func (s *Store) create(name string, tuplesPerPage int) (*HeapFile, error) {
 	if _, ok := s.files[name]; ok {
 		return nil, fmt.Errorf("storage: file %s already exists", name)
 	}
@@ -303,8 +341,10 @@ func (s *Store) Create(name string, tuplesPerPage int) (*HeapFile, error) {
 // CreateTemp makes an anonymous heap file for intermediate results (sort
 // runs, materialized temporaries).
 func (s *Store) CreateTemp(tuplesPerPage int) *HeapFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tmpID++
-	f, err := s.Create(fmt.Sprintf("$tmp%d", s.tmpID), tuplesPerPage)
+	f, err := s.create(fmt.Sprintf("$tmp%d", s.tmpID), tuplesPerPage)
 	if err != nil {
 		panic(err) // $tmp names are generated and cannot collide
 	}
@@ -313,12 +353,16 @@ func (s *Store) CreateTemp(tuplesPerPage int) *HeapFile {
 
 // Lookup finds a heap file by name.
 func (s *Store) Lookup(name string) (*HeapFile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.files[name]
 	return f, ok
 }
 
 // Drop removes a heap file and releases its buffer frames.
 func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.files[name]
 	if !ok {
 		return

@@ -12,6 +12,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -126,6 +127,50 @@ func (v Value) String() string {
 
 // isNumeric reports whether the value is an integer or float.
 func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// fnv64 constants for Hash (FNV-1a).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit hash consistent with Equal: Equal values hash
+// identically (NULL included), so it can partition tuples across parallel
+// workers and key hash tables. Because Equal compares numerics across
+// int/float, numeric values hash through their float64 payload; large
+// integers that collapse under the float conversion also collapse under
+// Equal, so consistency is preserved. Unequal values may collide — users
+// must confirm with Equal.
+func (v Value) Hash() uint64 {
+	h := uint64(fnvOffset)
+	mix8 := func(x uint64) {
+		for range 8 {
+			h ^= x & 0xff
+			h *= fnvPrime
+			x >>= 8
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		f := v.Float()
+		if f == 0 {
+			f = 0 // fold -0.0 into +0.0: they are Equal
+		}
+		mix8(math.Float64bits(f))
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= fnvPrime
+		}
+	case KindDate:
+		h ^= 0xda
+		h *= fnvPrime
+		mix8(uint64(v.i))
+	}
+	return h
+}
 
 // Equal reports whether two values are identical (same kind and payload).
 // Unlike SQL equality it treats NULL as equal to NULL; it exists for tests

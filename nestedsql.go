@@ -229,6 +229,22 @@ func WithoutFallback() QueryOption {
 	return func(o *engine.Options) { o.NoFallback = true }
 }
 
+// WithParallelism enables the morsel-driven parallel operators for
+// transformed plans: n > 1 uses n worker goroutines, n < 0 uses one per
+// CPU, and 0 or 1 keeps plans sequential (the default). Small inputs stay
+// sequential under the cost model's gate regardless.
+func WithParallelism(n int) QueryOption {
+	return func(o *engine.Options) { o.Planner.Parallelism = n }
+}
+
+// WithParallelVerify runs the differential oracle on every parallel query:
+// the parallel result must be bag-equal to the sequential plan's result
+// and, for NEST-JA2, set-equal to nested iteration's. A disagreement makes
+// the query fail. It has no effect without WithParallelism.
+func WithParallelVerify() QueryOption {
+	return func(o *engine.Options) { o.VerifyParallel = true }
+}
+
 // PageIO is the paper's cost metric for one query.
 type PageIO struct {
 	Reads  int64

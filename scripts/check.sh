@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full verification gate, equivalent to `make check` for environments
+# without make. Runs vet, build, the entire test suite under the race
+# detector (the morsel-driven parallel executor runs real goroutines, so
+# -race is part of the contract, not a nicety), and a short parser fuzz.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser"
+go test -run '^$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
+
+echo "==> all checks passed"
