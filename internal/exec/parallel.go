@@ -82,9 +82,10 @@ type ParallelSource interface {
 type ExchangeMerge struct {
 	Source ParallelSource
 
-	ex  *exchange
-	cur Morsel
-	idx int
+	ex     *exchange
+	cur    Morsel
+	idx    int
+	closed bool
 }
 
 // Open opens the source and starts its distributor and workers.
@@ -98,7 +99,7 @@ func (e *ExchangeMerge) Open() error {
 		errc: make(chan error, w+1),
 		stop: make(chan struct{}),
 	}
-	e.ex, e.cur, e.idx = ex, nil, 0
+	e.ex, e.cur, e.idx, e.closed = ex, nil, 0, false
 	e.Source.run(ex)
 	go func() {
 		ex.wg.Wait()
@@ -136,6 +137,10 @@ func (e *ExchangeMerge) Next() (storage.Tuple, bool, error) {
 // closes the source. It is safe to call before the output is fully drained
 // (e.g. a LIMIT-style consumer) and safe to call more than once.
 func (e *ExchangeMerge) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	if e.ex != nil {
 		close(e.ex.stop)
 		// Drain until the closer goroutine closes out (after wg.Wait), so
@@ -504,6 +509,12 @@ func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 				}
 				if err := gs.accs[i].Add(v); err != nil {
 					ex.fail(err)
+					// Keep draining the input so the distributor is never
+					// left blocked on this worker's full channel; stop is
+					// only closed by Close, which the consumer may never
+					// reach if Next hangs waiting for us.
+					for range in {
+					}
 					return
 				}
 			}

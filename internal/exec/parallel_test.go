@@ -309,6 +309,53 @@ func TestExchangeMergeErrorPropagation(t *testing.T) {
 	}
 }
 
+// TestParallelHashGroupWorkerErrorNoDeadlock pins the regression where a
+// worker-side aggregation error (MAX over mixed int/string values) killed a
+// worker without draining its input channel, leaving the distributor
+// blocked on a full channel forever and hanging ExchangeMerge.Next. The
+// input puts the error at the front of one group's stream and follows it
+// with far more rows than the worker channels can buffer, so the pre-fix
+// code deadlocks deterministically; post-fix, Next must surface the error.
+func TestParallelHashGroupWorkerErrorNoDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rows := []storage.Tuple{
+				{intv(1), intv(1)},
+				{intv(1), value.NewString("x")}, // MAX(int, string) errors
+			}
+			// Enough follow-on rows for the same key to overflow the dead
+			// worker's channel buffer (2 morsels) and block the distributor.
+			for range 4 * exec.MorselSize {
+				rows = append(rows, storage.Tuple{intv(1), intv(2)})
+			}
+			s := storage.NewStore(8)
+			f := loadTuples(s, "M", 2, rows)
+			op := &exec.ExchangeMerge{Source: &exec.ParallelHashGroup{
+				Child:     scanOf(f, "M"),
+				GroupCols: []int{0},
+				Items: []exec.GroupItem{
+					{Agg: value.AggNone, Col: 0, Out: exec.ColID{Column: "K"}},
+					{Agg: value.AggMax, Col: 1, Out: exec.ColID{Column: "MAX"}},
+				},
+				Workers: workers,
+			}}
+			done := make(chan error, 1)
+			go func() {
+				_, err := exec.Drain(op) // Drain opens and closes op itself
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Error("aggregation error not propagated from parallel group")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("parallel group deadlocked after worker-side aggregation error")
+			}
+		})
+	}
+}
+
 func eqStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false
