@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz chaos bench
 
-check: vet build race fuzz
+check: vet build race fuzz chaos
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,14 @@ race:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
+
+# The seeded fault-injection suite: the generated-query corpus executed
+# against a fault-injecting store (read errors, latency, torn temp
+# writes), asserting every fault becomes a clean typed error — never a
+# panic, hang, goroutine leak, or leaked temp file. -count=1 defeats the
+# test cache so the faults actually run.
+chaos:
+	$(GO) test -race -count=1 -v -run TestChaosFaultInjection ./internal/engine
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -49,6 +49,8 @@ var experiments = []experiment{
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all | "+names()+")")
+	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query wall-clock limit for experiment queries (0 = none)")
+	flag.Int64Var(&queryMaxRows, "max-rows", 0, "per-query result-row budget for experiment queries (0 = none)")
 	flag.Parse()
 
 	if *exp == "all" {

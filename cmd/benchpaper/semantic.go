@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/planner"
@@ -32,13 +33,27 @@ var (
 	forceParallel   bool
 )
 
+// queryTimeout and queryMaxRows hold the -timeout and -max-rows lifecycle
+// flags; govern applies them so every experiment query runs under the same
+// budgets.
+var (
+	queryTimeout time.Duration
+	queryMaxRows int64
+)
+
+func govern(opts engine.Options) engine.Options {
+	opts.Timeout = queryTimeout
+	opts.MaxRows = queryMaxRows
+	return opts
+}
+
 // runStrategy executes sql under a strategy and returns the result.
 func runStrategy(db *engine.DB, sql string, s engine.Strategy) *engine.Result {
 	opts := engine.Options{Strategy: s}
 	opts.Planner.Parallelism = parallelWorkers
 	opts.Planner.ForceParallel = forceParallel
 	opts.VerifyParallel = parallelWorkers > 1
-	res, err := db.Query(sql, opts)
+	res, err := db.Query(sql, govern(opts))
 	if err != nil {
 		panic(err)
 	}

@@ -8,6 +8,15 @@ import (
 	"repro/internal/value"
 )
 
+// cutoffDate is the paper's SHIPDATE restriction constant.
+func cutoffDate() value.Date {
+	d, err := value.ParseDate("1-1-80")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 // restrictionAfterOuterJoin builds — directly from physical operators —
 // the incorrect evaluation order section 5.2 warns against: outer-join the
 // projection of PARTS with the *unrestricted* SUPPLY, and only then apply
@@ -52,7 +61,7 @@ func restrictionAfterOuterJoin(db *engine.DB) []storage.Tuple {
 	cutoff, err := exec.CompileConjuncts([]ast.Predicate{&ast.Comparison{
 		Left:  ast.ColumnRef{Table: "SUPPLY", Column: "SHIPDATE"},
 		Op:    value.OpLt,
-		Right: ast.Const{Val: value.NewDateValue(value.MustParseDate("1-1-80"))},
+		Right: ast.Const{Val: value.NewDateValue(cutoffDate())},
 	}}, join.Schema())
 	if err != nil {
 		panic(err)

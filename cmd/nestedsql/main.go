@@ -62,6 +62,8 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive REPL (read statements from stdin)")
 	parallel := flag.Int("parallel", 0, "parallel workers for transformed plans: 0|1 sequential, n>1 workers, -1 one per CPU")
 	verifyParallel := flag.Bool("verify-parallel", false, "cross-check every parallel result against the sequential plan and nested iteration")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit; exceeding it fails the query (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query result-row budget; exceeding it fails the query (0 = none)")
 	var loads csvLoads
 	flag.Var(&loads, "load", "bulk-load a CSV file: TABLE=FILE (repeatable; first line is a header)")
 	open := flag.String("open", "", "open a database snapshot instead of a fixture")
@@ -138,8 +140,16 @@ func main() {
 	}
 	defer saveAndExit()
 
+	sess := &session{
+		strategy:       strat,
+		explain:        *explain,
+		parallel:       *parallel,
+		verifyParallel: *verifyParallel,
+		timeout:        *timeout,
+		maxRows:        *maxRows,
+	}
 	if *interactive {
-		repl(db, os.Stdin, true, *parallel, *verifyParallel)
+		repl(db, os.Stdin, true, sess)
 		return
 	}
 	sql, err := readQuery(flag.Args())
@@ -147,16 +157,12 @@ func main() {
 		fail(err)
 	}
 
-	opts := []nestedsql.QueryOption{
-		nestedsql.WithStrategy(strat),
+	cancelOpt, cleanup := interruptCancel()
+	defer cleanup()
+	opts := append(sess.options(),
 		nestedsql.WithForcedJoins(tj, fj),
-	}
-	if *parallel != 0 {
-		opts = append(opts, nestedsql.WithParallelism(*parallel))
-	}
-	if *verifyParallel {
-		opts = append(opts, nestedsql.WithParallelVerify())
-	}
+		cancelOpt,
+	)
 	if *explain {
 		rep, err := db.Explain(sql, opts...)
 		if err != nil {

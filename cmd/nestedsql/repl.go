@@ -5,22 +5,76 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	nestedsql "repro"
 )
 
+// session carries the REPL's mutable execution settings, seeded from the
+// command-line flags.
+type session struct {
+	strategy       nestedsql.Strategy
+	explain        bool
+	parallel       int
+	verifyParallel bool
+	timeout        time.Duration
+	maxRows        int64
+}
+
+// options assembles the QueryOptions for one statement.
+func (s *session) options() []nestedsql.QueryOption {
+	opts := []nestedsql.QueryOption{nestedsql.WithStrategy(s.strategy)}
+	if s.parallel != 0 {
+		opts = append(opts, nestedsql.WithParallelism(s.parallel))
+	}
+	if s.verifyParallel {
+		opts = append(opts, nestedsql.WithParallelVerify())
+	}
+	if s.timeout > 0 {
+		opts = append(opts, nestedsql.WithTimeout(s.timeout))
+	}
+	if s.maxRows > 0 {
+		opts = append(opts, nestedsql.WithMaxRows(s.maxRows))
+	}
+	return opts
+}
+
+// interruptCancel returns a QueryOption that cancels the query when the
+// process receives an interrupt (Ctrl-C), and a cleanup function that
+// restores the default signal disposition — so a Ctrl-C at the prompt
+// still terminates the process, while one mid-query only fails that query
+// with ErrCanceled.
+func interruptCancel() (nestedsql.QueryOption, func()) {
+	cancel := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	stop := make(chan struct{})
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		select {
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "canceling query...")
+			close(cancel)
+		case <-stop:
+		}
+	}()
+	cleanup := func() {
+		signal.Stop(sigc)
+		close(stop)
+	}
+	return nestedsql.WithCancel(cancel), cleanup
+}
+
 // repl reads statements (terminated by ';') from the reader and executes
 // them, printing results. Meta commands: \d lists tables, \strategy sets
 // the evaluation strategy, \explain toggles EXPLAIN mode, \parallel sets
-// the worker count, \q quits.
-func repl(db *nestedsql.DB, in io.Reader, interactive bool, parallel int, verifyParallel bool) {
+// the worker count, \timeout sets the per-query deadline, \q quits.
+func repl(db *nestedsql.DB, in io.Reader, interactive bool, sess *session) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
-	strategy := nestedsql.StrategyTransform
-	explain := false
 
 	prompt := func() {
 		if !interactive {
@@ -41,7 +95,7 @@ func repl(db *nestedsql.DB, in io.Reader, interactive bool, parallel int, verify
 			continue
 		}
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !metaCommand(db, trimmed, &strategy, &explain, &parallel, &verifyParallel) {
+			if !metaCommand(db, trimmed, sess) {
 				return
 			}
 			prompt()
@@ -50,18 +104,18 @@ func repl(db *nestedsql.DB, in io.Reader, interactive bool, parallel int, verify
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			runStatement(db, buf.String(), strategy, explain, parallel, verifyParallel)
+			runStatement(db, buf.String(), sess)
 			buf.Reset()
 		}
 		prompt()
 	}
 	if buf.Len() > 0 {
-		runStatement(db, buf.String(), strategy, explain, parallel, verifyParallel)
+		runStatement(db, buf.String(), sess)
 	}
 }
 
 // metaCommand handles backslash commands; it returns false to quit.
-func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, explain *bool, parallel *int, verifyParallel *bool) bool {
+func metaCommand(db *nestedsql.DB, cmd string, sess *session) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\q`, `\quit`:
@@ -85,11 +139,11 @@ func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, exp
 			fmt.Printf("unknown strategy %q\n", fields[1])
 			break
 		}
-		*strategy = s
+		sess.strategy = s
 		fmt.Printf("strategy set to %s\n", fields[1])
 	case `\explain`:
-		*explain = !*explain
-		fmt.Printf("explain mode: %v\n", *explain)
+		sess.explain = !sess.explain
+		fmt.Printf("explain mode: %v\n", sess.explain)
 	case `\parallel`:
 		if len(fields) != 2 {
 			fmt.Println("usage: \\parallel N  (0|1 sequential, N>1 workers, -1 one per CPU)")
@@ -100,11 +154,27 @@ func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, exp
 			fmt.Printf("bad worker count %q\n", fields[1])
 			break
 		}
-		*parallel = n
+		sess.parallel = n
 		fmt.Printf("parallel workers set to %d\n", n)
 	case `\verify`:
-		*verifyParallel = !*verifyParallel
-		fmt.Printf("parallel verification: %v\n", *verifyParallel)
+		sess.verifyParallel = !sess.verifyParallel
+		fmt.Printf("parallel verification: %v\n", sess.verifyParallel)
+	case `\timeout`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\timeout DURATION  (e.g. 500ms, 10s; 0 disables)")
+			break
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			fmt.Printf("bad duration %q\n", fields[1])
+			break
+		}
+		sess.timeout = d
+		if d == 0 {
+			fmt.Println("query timeout disabled")
+		} else {
+			fmt.Printf("query timeout set to %v\n", d)
+		}
 	case `\index`:
 		if len(fields) != 3 {
 			fmt.Println("usage: \\index TABLE COLUMN")
@@ -122,23 +192,19 @@ func metaCommand(db *nestedsql.DB, cmd string, strategy *nestedsql.Strategy, exp
 		}
 		fmt.Println("statistics collected")
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\analyze, \\index, \\q)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\timeout, \\analyze, \\index, \\q)\n", fields[0])
 	}
 	return true
 }
 
-func runStatement(db *nestedsql.DB, sql string, strategy nestedsql.Strategy, explain bool, parallel int, verifyParallel bool) {
+func runStatement(db *nestedsql.DB, sql string, sess *session) {
 	if strings.TrimSpace(strings.Trim(strings.TrimSpace(sql), ";")) == "" {
 		return
 	}
-	opts := []nestedsql.QueryOption{nestedsql.WithStrategy(strategy)}
-	if parallel != 0 {
-		opts = append(opts, nestedsql.WithParallelism(parallel))
-	}
-	if verifyParallel {
-		opts = append(opts, nestedsql.WithParallelVerify())
-	}
-	if explain {
+	cancelOpt, cleanup := interruptCancel()
+	defer cleanup()
+	opts := append(sess.options(), cancelOpt)
+	if sess.explain {
 		rep, err := db.Explain(sql, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

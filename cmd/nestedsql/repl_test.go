@@ -30,7 +30,7 @@ func runREPL(t *testing.T, db *nestedsql.DB, script string) string {
 		}
 		done <- b.String()
 	}()
-	repl(db, strings.NewReader(script), false, 0, false)
+	repl(db, strings.NewReader(script), false, &session{strategy: nestedsql.StrategyTransform})
 	w.Close()
 	out := <-done
 	os.Stdout = old
@@ -49,6 +49,7 @@ WHERE QOH = 0;
 \strategy kim
 \parallel 4
 \verify
+\timeout 30s
 \analyze
 \index PARTS PNUM
 \explain
@@ -62,6 +63,7 @@ SELECT PNUM FROM PARTS WHERE PNUM = 99;
 		"strategy set to kim",
 		"parallel workers set to 4",
 		"parallel verification: true",
+		"query timeout set to 30s",
 		"statistics collected",
 		"index created on PARTS.PNUM",
 		"explain mode: true",
@@ -80,6 +82,7 @@ func TestREPLMetaErrors(t *testing.T) {
 	out := runREPL(t, db, `
 \strategy bogus
 \strategy
+\timeout soon
 \index onlyone
 \nosuchcommand
 SELECT NOPE FROM NOWHERE;
@@ -89,6 +92,7 @@ SELECT THIS FROM NEVERRUNS;
 	for _, frag := range []string{
 		`unknown strategy "bogus"`,
 		`usage: \strategy`,
+		`bad duration "soon"`,
 		`usage: \index`,
 		"unknown command",
 	} {

@@ -1,0 +1,171 @@
+package engine_test
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/qctx"
+	"repro/internal/storage"
+)
+
+// The chaos harness: the grammar fuzzer's query corpus executed against a
+// seeded fault-injecting store (read errors, latency, torn temp-table
+// writes during materialization). Every injected fault must surface as a
+// clean, typed error — never a process panic, a hang, a leaked goroutine,
+// or a leaked temp file — and once faults are disarmed the same database
+// must still satisfy the transformed-vs-nested differential oracle.
+//
+// Each round is fully determined by its seed: the database content, the
+// query text, and the fault schedule all replay identically, so a failure
+// report's round number reproduces the failure.
+
+// cleanChaosErr reports whether an error from a faulted run is one the
+// lifecycle layer is allowed to produce: the injected fault itself
+// (possibly wrapped in a contained PanicError), or a lifecycle error from
+// a deadline racing the injected latency.
+func cleanChaosErr(err error) bool {
+	return errors.Is(err, storage.ErrInjectedFault) ||
+		errors.Is(err, qctx.ErrQueryTimeout) ||
+		errors.Is(err, qctx.ErrCanceled) ||
+		errors.Is(err, qctx.ErrBudgetExceeded)
+}
+
+// chaosRun executes one query with a watchdog: a hang is a test failure,
+// not a silent CI timeout.
+func chaosRun(t *testing.T, db *engine.DB, sql string, opts engine.Options, round int, label string) (*engine.Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *engine.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := db.Query(sql, opts)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(60 * time.Second):
+		t.Fatalf("round %d (%s): query hung: %q", round, label, sql)
+		return nil, nil
+	}
+}
+
+func TestChaosFaultInjection(t *testing.T) {
+	rounds := 250
+	if testing.Short() {
+		rounds = 40
+	}
+	baseline := runtime.NumGoroutine()
+	var injectedTotal, faultedErrs, faultedOKs int64
+	for i := range rounds {
+		seed := int64(9000 + i)
+		rng := rand.New(rand.NewSource(seed))
+		db := fuzzDB(t, rng)
+		g := &queryGen{rng: rng}
+		sql := g.genQuery()
+
+		// Fault-free ground truth first, so a chaos round with a clean
+		// outcome can be checked for correctness too.
+		ni, err := db.Query(sql, engine.Options{Strategy: engine.NestedIteration})
+		if err != nil {
+			t.Fatalf("round %d: fault-free NI failed for %q: %v", i, sql, err)
+		}
+
+		// Arm the injector. Torn writes cover both the anonymous sort/
+		// materialization temps ($tmpN) and the transform algorithms'
+		// named temp tables (TEMPn).
+		inj := storage.NewFaultInjector(storage.FaultConfig{
+			Seed:         seed,
+			ReadError:    0.03,
+			WriteTear:    0.3,
+			TearPrefixes: []string{"$tmp", "TEMP"},
+			Latency:      0.01,
+			LatencyDur:   200 * time.Microsecond,
+		})
+		db.Store().SetFaultInjector(inj)
+
+		// Faulted runs: nested iteration, sequential transform, parallel
+		// transform — every execution path meets the same fault schedule.
+		faultedOpts := []engine.Options{
+			{Strategy: engine.NestedIteration, Timeout: 30 * time.Second},
+			{Strategy: engine.TransformJA2, Timeout: 30 * time.Second},
+		}
+		par := engine.Options{Strategy: engine.TransformJA2, Timeout: 30 * time.Second}
+		par.Planner.Parallelism = 4
+		par.Planner.ForceParallel = true
+		faultedOpts = append(faultedOpts, par)
+		for _, opts := range faultedOpts {
+			res, err := chaosRun(t, db, sql, opts, i, "faulted "+opts.Strategy.String())
+			if err != nil {
+				faultedErrs++
+				if !cleanChaosErr(err) {
+					t.Fatalf("round %d: unclean error from faulted %v for %q: %v",
+						i, opts.Strategy, sql, err)
+				}
+			} else {
+				faultedOKs++
+				// A run that absorbed its faults (retry, or none landed on
+				// its pages) must still be correct. ALL-quantifier rewrites
+				// deliberately diverge from nested iteration (see README)
+				// unless the query fell back to nested iteration anyway.
+				if res.FellBack || !strings.Contains(sql, " ALL ") {
+					if got, want := sortedSet(res), sortedSet(ni); got != want {
+						t.Fatalf("round %d: faulted-but-successful %v wrong for %q:\n  got:  %s\n  want: %s",
+							i, opts.Strategy, sql, got, want)
+					}
+				}
+			}
+			// No run — failed or not — may leak an anonymous temp file.
+			if n := db.Store().TempCount(); n != 0 {
+				t.Fatalf("round %d: %v leaked %d temp file(s) for %q", i, opts.Strategy, n, sql)
+			}
+		}
+		injectedTotal += inj.Injected()
+
+		// Disarm and re-verify the differential oracle: injected faults
+		// must not have corrupted any base table.
+		db.Store().SetFaultInjector(nil)
+		tr, err := db.Query(sql, engine.Options{Strategy: engine.TransformJA2})
+		if err != nil {
+			t.Fatalf("round %d: fault-free rerun failed for %q: %v", i, sql, err)
+		}
+		if !strings.Contains(sql, " ALL ") {
+			if got, want := sortedSet(tr), sortedSet(ni); got != want {
+				t.Fatalf("round %d: post-chaos differential mismatch for %q:\n  got:  %s\n  want: %s",
+					i, sql, got, want)
+			}
+		}
+	}
+
+	// Goroutine accounting: everything spawned by 3×rounds faulted runs
+	// (workers, distributors, cancel watchers) must have exited.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked across chaos rounds: baseline=%d now=%d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	t.Logf("chaos: %d rounds, %d faults injected, %d faulted runs errored cleanly, %d absorbed their faults",
+		rounds, injectedTotal, faultedErrs, faultedOKs)
+	if injectedTotal < int64(rounds)/2 {
+		t.Errorf("only %d faults injected over %d rounds; the harness exercises too little", injectedTotal, rounds)
+	}
+	if faultedErrs == 0 {
+		t.Error("no faulted run errored; fault probabilities are too low to test containment")
+	}
+}

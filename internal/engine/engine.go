@@ -18,12 +18,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/classify"
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/planner"
+	"repro/internal/qctx"
 	"repro/internal/querygraph"
 	"repro/internal/schema"
 	"repro/internal/sqlparser"
@@ -181,6 +183,24 @@ type Options struct {
 	// nested iteration's. Disagreement fails the query. It has no effect
 	// unless Planner.Parallelism enables parallel plans.
 	VerifyParallel bool
+
+	// Lifecycle governance. A query exceeding Timeout fails with
+	// qctx.ErrQueryTimeout; one producing more than MaxRows result rows
+	// fails with qctx.ErrRowBudget; one buffering more than MaxBytes in
+	// hash builds and sorts fails with qctx.ErrMemoryBudget (a cost-gated
+	// parallel plan is retried sequentially once first — see Query). Zero
+	// values mean ungoverned, and execution pays only nil checks.
+	Timeout  time.Duration
+	MaxRows  int64
+	MaxBytes int64
+	// Cancel, when non-nil, cancels the query with qctx.ErrCanceled as
+	// soon as the channel is closed (e.g. Ctrl-C in the REPL).
+	Cancel <-chan struct{}
+}
+
+// governed reports whether any lifecycle limit is configured.
+func (o Options) governed() bool {
+	return o.Timeout > 0 || o.MaxRows > 0 || o.MaxBytes > 0 || o.Cancel != nil
 }
 
 // Result is a completed query.
@@ -209,16 +229,43 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 		res.Columns = append(res.Columns, c.Name)
 	}
 
+	// Lifecycle context: nil (all no-ops) unless a limit is configured.
+	var qc *qctx.QueryContext
+	if opts.governed() {
+		qc = qctx.New(qctx.Limits{Timeout: opts.Timeout, MaxRows: opts.MaxRows, MaxBytes: opts.MaxBytes})
+		defer qc.Finish()
+		if opts.Cancel != nil {
+			// An already-closed Cancel channel stops the query before it
+			// starts — don't leave that to the watcher goroutine's schedule.
+			select {
+			case <-opts.Cancel:
+				qc.Cancel(qctx.ErrCanceled)
+				return nil, qc.Err()
+			default:
+			}
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-opts.Cancel:
+					qc.Cancel(qctx.ErrCanceled)
+				case <-stop:
+				case <-qc.Done():
+				}
+			}()
+		}
+	}
+
 	before := db.store.Stats()
 	switch opts.Strategy {
 	case NestedIteration:
-		err = db.runNested(qb, res)
+		err = db.runNested(qb, qc, res)
 	case TransformJA2, TransformKim:
 		variant := transform.JA2
 		if opts.Strategy == TransformKim {
 			variant = transform.KimJA
 		}
-		err = db.runTransformed(qb, variant, opts, res)
+		err = db.runTransformed(qb, variant, opts, qc, res)
 	default:
 		err = fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 	}
@@ -235,10 +282,30 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func (db *DB) runNested(qb *ast.QueryBlock, res *Result) error {
+// contain runs fn on the calling goroutine and converts a panic — a
+// storage fault, a bug in value or exec code — into a *qctx.PanicError,
+// so one query's failure never kills the process. Deferred cleanups
+// below fn (planner temp drops, evaluator Close) run during the unwind
+// before the recovery here.
+func contain(fn func() error) (err error) {
+	defer func() {
+		if pe := qctx.Recovered(recover()); pe != nil {
+			err = pe
+		}
+	}()
+	return fn()
+}
+
+func (db *DB) runNested(qb *ast.QueryBlock, qc *qctx.QueryContext, res *Result) error {
 	ev := exec.NewEvaluator(db.cat, db.store)
+	ev.QC = qc
 	defer ev.Close()
-	rows, _, err := ev.EvalQuery(qb)
+	var rows []storage.Tuple
+	err := contain(func() error {
+		var err error
+		rows, _, err = ev.EvalQuery(qb)
+		return err
+	})
 	if err != nil {
 		return err
 	}
@@ -247,12 +314,12 @@ func (db *DB) runNested(qb *ast.QueryBlock, res *Result) error {
 	return nil
 }
 
-func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts Options, res *Result) error {
+func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts Options, qc *qctx.QueryContext, res *Result) error {
 	tr, err := transform.New(db.cat, variant).Transform(qb)
 	if errors.Is(err, transform.ErrNotTransformable) && !opts.NoFallback {
 		res.FellBack = true
 		res.Trace = append(res.Trace, fmt.Sprintf("fallback to nested iteration: %v", err))
-		return db.runNested(qb, res)
+		return db.runNested(qb, qc, res)
 	}
 	if err != nil {
 		return err
@@ -267,14 +334,50 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 	if popts.Indexes == nil {
 		popts.Indexes = db.indexes
 	}
-	pl := planner.New(db.cat, db.store, popts)
-	rows, _, err := pl.Run(tr)
-	res.Trace = append(res.Trace, pl.Notes()...)
+	popts.QC = qc
+	var rows []storage.Tuple
+	runPlan := func(o planner.Options) error {
+		pl := planner.New(db.cat, db.store, o)
+		err := contain(func() error {
+			var err error
+			rows, _, err = pl.Run(tr)
+			return err
+		})
+		res.Trace = append(res.Trace, pl.Notes()...)
+		return err
+	}
+	err = runPlan(popts)
+	parallel := popts.Parallelism > 1 || popts.Parallelism < 0
+	if err != nil && parallel && retrySequentially(err) {
+		// Graceful degradation: a parallel plan that lost a worker to a
+		// fault, or blew the memory budget partitioning its build side,
+		// is retried sequentially once. Budget counters reset; the
+		// original deadline keeps ticking. Timeouts, explicit cancels,
+		// and row-budget violations are not retried — a sequential run
+		// would exceed the same limits.
+		qc.ResetUsage()
+		res.Trace = append(res.Trace, fmt.Sprintf("parallel plan failed (%v); retrying sequentially", err))
+		seq := popts
+		seq.Parallelism = 0
+		seq.ForceParallel = false
+		err = runPlan(seq)
+	}
 	if err != nil {
 		return err
 	}
 	res.Rows = rows
 	return nil
+}
+
+// retrySequentially reports whether a parallel-plan failure is worth one
+// sequential retry: a contained panic (worker fault) or a memory-budget
+// violation (sequential plans buffer less than a partitioned hash build).
+func retrySequentially(err error) bool {
+	if errors.Is(err, qctx.ErrQueryTimeout) || errors.Is(err, qctx.ErrCanceled) || errors.Is(err, qctx.ErrRowBudget) {
+		return false
+	}
+	var pe *qctx.PanicError
+	return errors.As(err, &pe) || errors.Is(err, qctx.ErrMemoryBudget)
 }
 
 // Explain returns a textual report of how the query would be (and was)

@@ -30,15 +30,17 @@ func (db *DB) Exec(script string, opts Options) (*Result, error) {
 				return nil, err
 			}
 		case *sqlparser.InsertStmt:
-			if err := db.execInsert(stmt); err != nil {
+			if err := contain(func() error { return db.execInsert(stmt) }); err != nil {
 				return nil, err
 			}
 		case *sqlparser.DeleteStmt:
-			if _, err := db.execDelete(stmt); err != nil {
+			err := contain(func() error { _, err := db.execDelete(stmt); return err })
+			if err != nil {
 				return nil, err
 			}
 		case *sqlparser.UpdateStmt:
-			if _, err := db.execUpdate(stmt); err != nil {
+			err := contain(func() error { _, err := db.execUpdate(stmt); return err })
+			if err != nil {
 				return nil, err
 			}
 		case *sqlparser.SelectStmt:

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -30,6 +31,9 @@ type AntiJoin struct {
 	LeftVal func(storage.Tuple) value.Value
 	// MemberCol is the right column holding membership values.
 	MemberCol int
+	// QC, when set, is checked once per left row — each left row can cost
+	// a full scan of the right side.
+	QC *qctx.QueryContext
 }
 
 // Open prepares the left child.
@@ -38,6 +42,9 @@ func (a *AntiJoin) Open() error { return a.Left.Open() }
 // Next emits the next qualifying left row.
 func (a *AntiJoin) Next() (storage.Tuple, bool, error) {
 	for {
+		if err := a.QC.Check(); err != nil {
+			return nil, false, err
+		}
 		l, ok, err := a.Left.Next()
 		if err != nil || !ok {
 			return nil, false, err

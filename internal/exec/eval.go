@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ast"
+	"repro/internal/qctx"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -24,6 +25,14 @@ import (
 type Evaluator struct {
 	Cat   *schema.Catalog
 	Store *storage.Store
+	// QC, when set, is checked once per cartesian-product row and charged
+	// for every root-block result row. Inner blocks do not charge the row
+	// budget — it bounds what the query returns, not what it examines.
+	QC *qctx.QueryContext
+
+	// root is the block whose emissions count against the row budget,
+	// recorded by EvalQuery.
+	root *ast.QueryBlock
 
 	// subCache holds once-evaluated results of uncorrelated subqueries,
 	// keyed by block identity. Scalar results stay in memory (System R
@@ -57,6 +66,7 @@ func (ev *Evaluator) Close() {
 // EvalQuery evaluates a resolved query block tree and returns the result
 // rows and their schema.
 func (ev *Evaluator) EvalQuery(qb *ast.QueryBlock) ([]storage.Tuple, RowSchema, error) {
+	ev.root = qb
 	return ev.evalBlock(qb, nil)
 }
 
@@ -129,6 +139,14 @@ func (ev *Evaluator) evalBlock(qb *ast.QueryBlock, env *Env) ([]storage.Tuple, R
 			}
 			row[i] = v
 		}
+		if qb == ev.root && !qb.Distinct {
+			// Streaming root emission: charge as we go so the row budget
+			// stops the scan within one row. DISTINCT charges after
+			// deduplication — duplicates are not result rows.
+			if err := ev.QC.AddRows(1); err != nil {
+				return err
+			}
+		}
 		rows = append(rows, row)
 		return nil
 	})
@@ -146,8 +164,15 @@ func (ev *Evaluator) evalBlock(qb *ast.QueryBlock, env *Env) ([]storage.Tuple, R
 	if qb.Distinct {
 		rows = dedupeRows(rows)
 	}
+	if qb == ev.root && (hasAgg || qb.Distinct) {
+		if err := ev.QC.AddRows(len(rows)); err != nil {
+			return nil, nil, err
+		}
+	}
 	if len(qb.OrderBy) > 0 {
-		sortRowsBy(rows, qb.OrderBy)
+		if err := sortRowsBy(rows, qb.OrderBy); err != nil {
+			return nil, nil, err
+		}
 	}
 	return rows, outSchema, nil
 }
@@ -178,11 +203,20 @@ func filterHaving(rows []storage.Tuple, having []ast.HavingPred) ([]storage.Tupl
 	return out, nil
 }
 
-// sortRowsBy orders result rows by the resolved ORDER BY positions.
-func sortRowsBy(rows []storage.Tuple, order []ast.OrderItem) {
+// sortRowsBy orders result rows by the resolved ORDER BY positions. An
+// incomparable pair of sort keys surfaces as an error after the sort.
+func sortRowsBy(rows []storage.Tuple, order []ast.OrderItem) error {
+	var cmpErr error
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, o := range order {
-			if c := value.SortCompare(rows[i][o.Pos], rows[j][o.Pos]); c != 0 {
+			c, err := value.TotalCompare(rows[i][o.Pos], rows[j][o.Pos])
+			if err != nil {
+				if cmpErr == nil {
+					cmpErr = err
+				}
+				return false
+			}
+			if c != 0 {
 				if o.Desc {
 					return c > 0
 				}
@@ -191,6 +225,7 @@ func sortRowsBy(rows []storage.Tuple, order []ast.OrderItem) {
 		}
 		return false
 	})
+	return cmpErr
 }
 
 // blockOutputSchema derives the result schema of a block. Plain columns
@@ -217,6 +252,9 @@ func blockOutputSchema(qb *ast.QueryBlock) RowSchema {
 // relation that fits in B pages is effectively cached.
 func (ev *Evaluator) scanProduct(files []*storage.HeapFile, schemas []RowSchema, i int, env *Env, fn func(*Env) error) error {
 	if i == len(files) {
+		if err := ev.QC.Check(); err != nil {
+			return err
+		}
 		return fn(env)
 	}
 	var scanErr error
@@ -623,12 +661,14 @@ func (ev *Evaluator) cached(qb *ast.QueryBlock) (*cachedSub, error) {
 		c.scalar = rows[0][0]
 	} else {
 		f := ev.Store.CreateTemp(0)
+		// Register for cleanup before filling: an append that panics
+		// (torn-write fault) must not orphan the half-written temp.
+		ev.tempFiles = append(ev.tempFiles, f)
 		for _, r := range rows {
 			f.Append(r)
 		}
 		f.Seal()
 		c.list = f
-		ev.tempFiles = append(ev.tempFiles, f)
 	}
 	ev.subCache[qb] = c
 	return c, nil

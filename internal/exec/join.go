@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -84,10 +85,17 @@ func (m *MergeJoin) loadGroup(key value.Value) error {
 			return nil
 		}
 		rk := t[m.RightKey]
-		if rk.IsNull() || value.SortLess(rk, key) {
-			continue // NULL keys and smaller keys can never match again
+		if rk.IsNull() {
+			continue // NULL keys can never match
 		}
-		if value.SortLess(key, rk) {
+		c, err := value.TotalCompare(rk, key)
+		if err != nil {
+			return err // incomparable join keys: a per-query type error
+		}
+		if c < 0 {
+			continue // smaller keys can never match again
+		}
+		if c > 0 {
 			m.pendRight = t // beyond the group; keep for the next key
 			return nil
 		}
@@ -180,6 +188,9 @@ type NestedLoopJoin struct {
 	// Pred sees the concatenated (left ++ right) row.
 	Pred  RowPred
 	Outer bool
+	// QC, when set, is checked once per left row — each left row costs a
+	// full scan of the right side, so that is the natural morsel.
+	QC *qctx.QueryContext
 
 	cur     storage.Tuple
 	matched bool
@@ -203,6 +214,9 @@ func (n *NestedLoopJoin) Open() error {
 func (n *NestedLoopJoin) Next() (storage.Tuple, bool, error) {
 	for {
 		if n.cur == nil {
+			if err := n.QC.Check(); err != nil {
+				return nil, false, err
+			}
 			t, ok, err := n.Left.Next()
 			if err != nil || !ok {
 				return nil, false, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -23,6 +24,8 @@ type Operator interface {
 type SeqScan struct {
 	File *storage.HeapFile
 	Sch  RowSchema
+	// QC, when set, is checked once per page — the scan's natural morsel.
+	QC *qctx.QueryContext
 
 	pageIdx int
 	tuples  []storage.Tuple
@@ -47,6 +50,9 @@ func (s *SeqScan) Open() error {
 // Next returns the next tuple in file order.
 func (s *SeqScan) Next() (storage.Tuple, bool, error) {
 	for s.tupIdx >= len(s.tuples) {
+		if err := s.QC.Check(); err != nil {
+			return nil, false, err
+		}
 		if s.pageIdx >= s.File.NumPages() {
 			return nil, false, nil
 		}
@@ -178,22 +184,34 @@ func tuplesEqual(a, b storage.Tuple) bool {
 }
 
 // Materialize drains an operator into a new temporary heap file, counting
-// the writes — the +Pt terms of the paper's cost formulas.
+// the writes — the +Pt terms of the paper's cost formulas. On any failure
+// — an error, or a panic (torn-write fault) unwinding through an append —
+// the temp file is dropped, so failed materializations leak nothing.
 func Materialize(op Operator, store *storage.Store, tuplesPerPage int) (*storage.HeapFile, error) {
 	f := store.CreateTemp(tuplesPerPage)
+	done := false
+	defer func() {
+		if !done {
+			store.Drop(f.Name())
+		}
+	}()
 	if err := MaterializeInto(op, f); err != nil {
 		return nil, err
 	}
+	done = true
 	return f, nil
 }
 
 // MaterializeInto drains an operator into an existing (empty) heap file
-// and seals it.
+// and seals it. Close is deferred before Open so resources acquired by a
+// partially successful Open (sort runs, worker goroutines) are released
+// even when Open itself errors or panics; Operator.Close is required to
+// be safe in that state (see DESIGN.md, "Operator lifecycle contract").
 func MaterializeInto(op Operator, f *storage.HeapFile) error {
+	defer op.Close()
 	if err := op.Open(); err != nil {
 		return err
 	}
-	defer op.Close()
 	for {
 		t, ok, err := op.Next()
 		if err != nil {
@@ -211,10 +229,17 @@ func MaterializeInto(op Operator, f *storage.HeapFile) error {
 // Drain runs an operator to completion collecting all rows (used by the
 // engine to produce final results and by tests).
 func Drain(op Operator) ([]storage.Tuple, error) {
+	return DrainBudget(op, nil)
+}
+
+// DrainBudget is Drain with lifecycle governance: every produced row is
+// charged against qc's row budget, so a query exceeding its row limit
+// stops within one row of the limit. A nil qc means ungoverned.
+func DrainBudget(op Operator, qc *qctx.QueryContext) ([]storage.Tuple, error) {
+	defer op.Close() // see MaterializeInto for why this precedes Open
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	defer op.Close()
 	var rows []storage.Tuple
 	for {
 		t, ok, err := op.Next()
@@ -224,8 +249,25 @@ func Drain(op Operator) ([]storage.Tuple, error) {
 		if !ok {
 			return rows, nil
 		}
+		if err := qc.AddRows(1); err != nil {
+			return nil, err
+		}
 		rows = append(rows, t)
 	}
+}
+
+// tupleBytes estimates the in-memory footprint of a tuple for budget
+// accounting: a fixed per-value overhead plus string payloads. It is an
+// estimate — budgets bound magnitude, not exact allocation.
+func tupleBytes(t storage.Tuple) int64 {
+	n := int64(24) // slice header
+	for _, v := range t {
+		n += 32
+		if v.Kind() == value.KindString {
+			n += int64(len(v.Str()))
+		}
+	}
+	return n
 }
 
 // CompileConjuncts compiles simple (non-nested) conjuncts against a row

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -62,6 +63,23 @@ func (ex *exchange) fail(err error) {
 	}
 }
 
+// guard is the deferred panic handler of every producer goroutine: a
+// panic in a distributor or worker (a storage fault, a bug) becomes a
+// recorded exchange error instead of killing the process. Register it
+// LAST among a goroutine's defers, so it runs before wg.Done and before
+// a distributor closes its worker channels. A worker passes its input
+// channel so the guard can drain it — otherwise the distributor could
+// block forever on the dead worker's full channel.
+func (ex *exchange) guard(in <-chan Morsel) {
+	if v := recover(); v != nil {
+		ex.fail(qctx.Recovered(v))
+		if in != nil {
+			for range in {
+			}
+		}
+	}
+}
+
 // ParallelSource is a plan fragment that produces rows through worker
 // goroutines. ExchangeMerge is its only consumer; run must register every
 // goroutine it starts with ex.wg before returning.
@@ -81,6 +99,9 @@ type ParallelSource interface {
 // sequential plan above.
 type ExchangeMerge struct {
 	Source ParallelSource
+	// QC, when set, wakes Next on cancellation even while all workers
+	// are stalled (e.g. injected latency), and is checked per morsel.
+	QC *qctx.QueryContext
 
 	ex     *exchange
 	cur    Morsel
@@ -119,7 +140,13 @@ func (e *ExchangeMerge) Next() (storage.Tuple, bool, error) {
 			e.idx++
 			return t, true, nil
 		}
-		m, ok := <-e.ex.out
+		var m Morsel
+		var ok bool
+		select {
+		case m, ok = <-e.ex.out:
+		case <-e.QC.Done():
+			return nil, false, e.QC.Err()
+		}
 		if !ok {
 			// All producers exited; surface a recorded error, if any.
 			select {
@@ -178,10 +205,14 @@ type ParallelHashJoin struct {
 	Outer             bool
 	// Workers is the worker-goroutine count; <= 0 means runtime.NumCPU().
 	Workers int
+	// QC, when set, governs the build scan (cancellation + memory budget
+	// for the buffered build side) and is checked by every goroutine.
+	QC *qctx.QueryContext
 
 	sch        RowSchema
 	rightWidth int
 	buildParts [][]storage.Tuple
+	buildBytes int64 // bytes charged for buildParts, released in Close
 }
 
 // NumWorkers reports the resolved worker count.
@@ -210,10 +241,18 @@ func (j *ParallelHashJoin) Open() error {
 		if !ok {
 			return nil
 		}
+		if err := j.QC.Check(); err != nil {
+			return err
+		}
 		k := t[j.RightKey]
 		if k.IsNull() {
 			continue // NULL build keys can never match
 		}
+		n := tupleBytes(t)
+		if err := j.QC.AddBuffered(n); err != nil {
+			return err
+		}
+		j.buildBytes += n
 		p := int(k.Hash() % uint64(w))
 		j.buildParts[p] = append(j.buildParts[p], t)
 	}
@@ -242,6 +281,7 @@ func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
 			close(ch)
 		}
 	}()
+	defer ex.guard(nil) // runs first: recover, then close inputs, then Done
 	w := len(inputs)
 	bufs := make([]Morsel, w)
 	flush := func(i int) bool {
@@ -258,6 +298,10 @@ func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
 		}
 	}
 	for {
+		if err := j.QC.Check(); err != nil {
+			ex.fail(err)
+			return
+		}
 		t, ok, err := j.Left.Next()
 		if err != nil {
 			ex.fail(err)
@@ -286,6 +330,7 @@ func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
 
 func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
 	defer ex.wg.Done()
+	defer ex.guard(in) // runs first: recover + drain, then Done
 	table := make(map[uint64][]storage.Tuple)
 	for _, r := range j.buildParts[id] {
 		h := r[j.RightKey].Hash()
@@ -302,6 +347,12 @@ func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
 		return true
 	}
 	for m := range in {
+		if err := j.QC.Check(); err != nil {
+			ex.fail(err)
+			for range in {
+			}
+			return
+		}
 		for _, l := range m {
 			matched := false
 			if k := l[j.LeftKey]; !k.IsNull() {
@@ -338,6 +389,8 @@ func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
 // Close releases the build partitions and closes both children.
 func (j *ParallelHashJoin) Close() error {
 	j.buildParts = nil
+	j.QC.ReleaseBuffered(j.buildBytes)
+	j.buildBytes = 0
 	err := j.Left.Close()
 	if err2 := j.Right.Close(); err == nil {
 		err = err2
@@ -374,6 +427,9 @@ type ParallelHashGroup struct {
 	Items     []GroupItem
 	// Workers is the worker-goroutine count; <= 0 means runtime.NumCPU().
 	Workers int
+	// QC, when set, governs cancellation and charges buffered group state
+	// against the memory budget.
+	QC *qctx.QueryContext
 
 	sch RowSchema
 }
@@ -424,6 +480,7 @@ func (g *ParallelHashGroup) distribute(ex *exchange, inputs []chan Morsel) {
 			close(ch)
 		}
 	}()
+	defer ex.guard(nil) // runs first: recover, then close inputs, then Done
 	w := len(inputs)
 	bufs := make([]Morsel, w)
 	flush := func(i int) bool {
@@ -440,6 +497,10 @@ func (g *ParallelHashGroup) distribute(ex *exchange, inputs []chan Morsel) {
 		}
 	}
 	for {
+		if err := g.QC.Check(); err != nil {
+			ex.fail(err)
+			return
+		}
 		t, ok, err := g.Child.Next()
 		if err != nil {
 			ex.fail(err)
@@ -468,6 +529,9 @@ func (g *ParallelHashGroup) distribute(ex *exchange, inputs []chan Morsel) {
 
 func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 	defer ex.wg.Done()
+	var charged int64
+	defer func() { g.QC.ReleaseBuffered(charged) }()
+	defer ex.guard(in) // runs first: recover + drain, then release, then Done
 	groups := make(map[uint64][]*groupState)
 	var order []*groupState
 	newState := func(key []value.Value) *groupState {
@@ -481,7 +545,18 @@ func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 		order = append(order, gs)
 		return gs
 	}
+	// drainFail records err and keeps consuming input so the distributor
+	// is never left blocked on this worker's full channel.
+	drainFail := func(err error) {
+		ex.fail(err)
+		for range in {
+		}
+	}
 	for m := range in {
+		if err := g.QC.Check(); err != nil {
+			drainFail(err)
+			return
+		}
 		for _, t := range m {
 			key := make([]value.Value, len(g.GroupCols))
 			for i, c := range g.GroupCols {
@@ -498,6 +573,13 @@ func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 			if gs == nil {
 				gs = newState(key)
 				groups[h] = append(groups[h], gs)
+				// Each live group buffers its key plus accumulator state.
+				n := tupleBytes(storage.Tuple(key)) + 64*int64(len(g.Items))
+				if err := g.QC.AddBuffered(n); err != nil {
+					drainFail(err)
+					return
+				}
+				charged += n
 			}
 			for i, it := range g.Items {
 				if it.Agg == value.AggNone {
@@ -508,13 +590,7 @@ func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 					v = t[it.Col]
 				}
 				if err := gs.accs[i].Add(v); err != nil {
-					ex.fail(err)
-					// Keep draining the input so the distributor is never
-					// left blocked on this worker's full channel; stop is
-					// only closed by Close, which the consumer may never
-					// reach if Next hangs waiting for us.
-					for range in {
-					}
+					drainFail(err)
 					return
 				}
 			}

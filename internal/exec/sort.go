@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -29,6 +30,9 @@ type Sort struct {
 	// match the cost model's page counts).
 	Store         *storage.Store
 	TuplesPerPage int
+	// QC, when set, is checked while draining the child and merging runs,
+	// and charged for tuples buffered in memory.
+	QC *qctx.QueryContext
 
 	mem     []storage.Tuple     // in-memory result when input fits in B pages
 	runFile *storage.HeapFile   // final run otherwise
@@ -37,11 +41,22 @@ type Sort struct {
 	pageIdx int                 // cursor into runFile
 	tuples  []storage.Tuple
 	tupIdx  int
+	cmpErr  error // first key-comparison type error, surfaced by Open
+	charged int64 // bytes currently charged against the memory budget
 }
 
 func (s *Sort) less(a, b storage.Tuple) bool {
 	for i, k := range s.Keys {
-		if c := value.SortCompare(a[k], b[k]); c != 0 {
+		c, err := value.TotalCompare(a[k], b[k])
+		if err != nil {
+			// sort.SliceStable cannot propagate errors; record the first
+			// one and let Open report it after the sort completes.
+			if s.cmpErr == nil {
+				s.cmpErr = err
+			}
+			return false
+		}
+		if c != 0 {
 			if s.Desc != nil && s.Desc[i] {
 				return c > 0
 			}
@@ -59,6 +74,7 @@ func (s *Sort) Open() error {
 	defer s.Child.Close()
 	s.mem, s.runFile, s.runs = nil, nil, nil
 	s.pos, s.pageIdx, s.tupIdx, s.tuples = 0, 0, 0, nil
+	s.cmpErr, s.charged = nil, 0
 
 	tpp := s.TuplesPerPage
 	if tpp <= 0 {
@@ -71,20 +87,27 @@ func (s *Sort) Open() error {
 	runCap := b * tpp
 
 	var buf []storage.Tuple
+	var bufBytes int64
 	flush := func() {
 		if len(buf) == 0 {
 			return
 		}
 		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
 		f := s.Store.CreateTemp(tpp)
+		// Register for cleanup before filling: an append that panics (torn
+		// write) must leave the half-written run where Close can drop it.
+		s.runs = append(s.runs, f)
 		for _, t := range buf {
 			f.Append(t)
 		}
 		f.Seal()
 		// Run pages were just produced in memory; the writes above are
 		// their cost. Reads during merging use ReadPageDirect.
-		s.runs = append(s.runs, f)
 		buf = nil
+		// The run now lives on "disk"; return its bytes to the budget.
+		s.QC.ReleaseBuffered(bufBytes)
+		s.charged -= bufBytes
+		bufBytes = 0
 	}
 
 	for {
@@ -95,25 +118,50 @@ func (s *Sort) Open() error {
 		if !ok {
 			break
 		}
+		if err := s.QC.Check(); err != nil {
+			return err
+		}
+		n := tupleBytes(t)
+		if err := s.QC.AddBuffered(n); err != nil {
+			return err
+		}
+		s.charged += n
+		bufBytes += n
 		buf = append(buf, t)
 		if len(buf) == runCap {
 			flush()
+			if s.cmpErr != nil {
+				return s.cmpErr
+			}
 		}
 	}
 	if len(s.runs) == 0 {
-		// Entire input fits in the sort's memory: no run I/O.
+		// Entire input fits in the sort's memory: no run I/O. The charge
+		// for buf stays until Close — the rows remain buffered.
 		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		if s.cmpErr != nil {
+			return s.cmpErr
+		}
 		s.mem = buf
 		return nil
 	}
 	flush()
+	if s.cmpErr != nil {
+		return s.cmpErr
+	}
 
 	// Merge passes, B-1 runs at a time.
 	for len(s.runs) > 1 {
 		var next []*storage.HeapFile
 		for i := 0; i < len(s.runs); i += b - 1 {
 			j := min(i+b-1, len(s.runs))
-			merged := s.mergeRuns(s.runs[i:j], tpp)
+			merged, err := s.mergeRuns(s.runs[i:j], tpp)
+			if err != nil {
+				// Runs created so far (including partial output) are in
+				// s.runs; Close drops them.
+				s.runs = append(s.runs, next...)
+				return err
+			}
 			next = append(next, merged)
 		}
 		for _, r := range s.runs {
@@ -158,10 +206,11 @@ func (c *runCursor) advance() {
 	c.tupIdx++
 }
 
-// mergeRuns merges sorted runs into a single new run.
-func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) *storage.HeapFile {
+// mergeRuns merges sorted runs into a single new run. On error the
+// partial output file is dropped before returning.
+func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) (*storage.HeapFile, error) {
 	if len(runs) == 1 {
-		return runs[0]
+		return runs[0], nil
 	}
 	cursors := make([]*runCursor, len(runs))
 	for i, r := range runs {
@@ -169,7 +218,18 @@ func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) *storage.HeapFile {
 		cursors[i].advance()
 	}
 	out := s.Store.CreateTemp(tpp)
+	done := false
+	// Drop the partial output on any failure — error return or a panic
+	// unwinding through an append (Store.Drop is idempotent).
+	defer func() {
+		if !done {
+			s.Store.Drop(out.Name())
+		}
+	}()
 	for {
+		if err := s.QC.Check(); err != nil {
+			return nil, err
+		}
 		best := -1
 		for i, c := range cursors {
 			if c.done {
@@ -179,6 +239,9 @@ func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) *storage.HeapFile {
 				best = i
 			}
 		}
+		if s.cmpErr != nil {
+			return nil, s.cmpErr
+		}
 		if best < 0 {
 			break
 		}
@@ -186,7 +249,8 @@ func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) *storage.HeapFile {
 		cursors[best].advance()
 	}
 	out.Seal()
-	return out
+	done = true
+	return out, nil
 }
 
 // Next streams the sorted rows.
@@ -212,12 +276,15 @@ func (s *Sort) Next() (storage.Tuple, bool, error) {
 	return t, true, nil
 }
 
-// Close drops the remaining run file.
+// Close drops the remaining run files and returns any buffered-byte
+// charge. It is safe to call before Open and more than once.
 func (s *Sort) Close() error {
 	for _, r := range s.runs {
 		s.Store.Drop(r.Name())
 	}
 	s.runs, s.runFile, s.mem = nil, nil, nil
+	s.QC.ReleaseBuffered(s.charged)
+	s.charged = 0
 	return nil
 }
 

@@ -65,9 +65,17 @@ func Build(store *storage.Store, file *storage.HeapFile, relation, column string
 		}
 	}
 	sort.SliceStable(idx.entries, func(i, j int) bool {
-		return value.SortLess(idx.entries[i].Key, idx.entries[j].Key)
+		return keyLess(idx.entries[i].Key, idx.entries[j].Key)
 	})
 	return idx
+}
+
+// keyLess orders two index keys. Keys come from one typed column, so they
+// are homogeneous non-NULL values and the comparison cannot fail; span
+// pre-validates probe values before any lookup relies on this.
+func keyLess(a, b value.Value) bool {
+	c, _ := value.TotalCompare(a, b)
+	return c < 0
 }
 
 // Entries returns the total entry count.
@@ -87,11 +95,20 @@ func (idx *Index) span(op value.CompareOp, val value.Value) (lo, hi int, ok bool
 	if val.IsNull() {
 		return 0, 0, false
 	}
+	// A probe value of a kind incomparable with the key column (e.g. a
+	// string literal against an integer index) cannot use the index; the
+	// planner then falls back to a scan whose filter reports the type
+	// error through the normal eval path.
+	if len(idx.entries) > 0 {
+		if _, err := value.TotalCompare(val, idx.entries[0].Key); err != nil {
+			return 0, 0, false
+		}
+	}
 	lower := sort.Search(len(idx.entries), func(i int) bool {
-		return !value.SortLess(idx.entries[i].Key, val) // first >= val
+		return !keyLess(idx.entries[i].Key, val) // first >= val
 	})
 	upper := sort.Search(len(idx.entries), func(i int) bool {
-		return value.SortLess(val, idx.entries[i].Key) // first > val
+		return keyLess(val, idx.entries[i].Key) // first > val
 	})
 	switch op {
 	case value.OpEq:

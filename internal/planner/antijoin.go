@@ -92,6 +92,7 @@ func (p *Planner) antiJoin(cur input, ip *ast.InPred, outerFrom []ast.TableRef, 
 			Corr:      corr,
 			LeftVal:   leftVal,
 			MemberCol: 0, // the membership column is projected first
+			QC:        p.opts.QC,
 		},
 		pages:    cur.pages + right.pages,
 		tuples:   cur.tuples,

@@ -150,13 +150,14 @@ func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, rest []ast.
 		RightKey: rkey,
 		Outer:    outer,
 		Workers:  w,
+		QC:       p.opts.QC,
 	}
 	kind := "parallel hash join"
 	if outer {
 		kind = "outer parallel hash join"
 	}
 	p.notef("%s: %s %s with %s (%d workers)", label, kind, cur.op.Schema()[lkey], right.op.Schema()[rkey], w)
-	var op exec.Operator = &exec.ExchangeMerge{Source: src}
+	var op exec.Operator = &exec.ExchangeMerge{Source: src, QC: p.opts.QC}
 	if len(rest) > 0 {
 		pred, err := exec.CompileConjuncts(rest, op.Schema())
 		if err != nil {
@@ -196,14 +197,14 @@ func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, r
 	b := p.store.BufferPages()
 	left := cur.op
 	if cur.sortedOn != lkey {
-		left = &exec.Sort{Child: left, Keys: []int{lkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage}
+		left = &exec.Sort{Child: left, Keys: []int{lkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
 		p.notef("%s: sort left input on %s", label, cur.op.Schema()[lkey])
 	} else {
 		p.notef("%s: left input already in join-column order, sort elided", label)
 	}
 	rightOp := right.op
 	if right.sortedOn != rkey {
-		rightOp = &exec.Sort{Child: rightOp, Keys: []int{rkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage}
+		rightOp = &exec.Sort{Child: rightOp, Keys: []int{rkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
 		p.notef("%s: sort right input on %s", label, right.op.Schema()[rkey])
 	} else {
 		p.notef("%s: right input already in join-column order, sort elided", label)
@@ -296,6 +297,7 @@ func (p *Planner) nlJoin(cur, right input, tr ast.TableRef, joinConjs []ast.Pred
 		RightSch: right.op.Schema(),
 		Pred:     pred,
 		Outer:    outer,
+		QC:       p.opts.QC,
 	}
 	return input{
 		op:       op,

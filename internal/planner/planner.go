@@ -20,6 +20,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/qctx"
 	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -79,6 +80,9 @@ type Options struct {
 	// parallel plans — used by tests and the differential oracle to
 	// exercise the parallel operators on tiny generated databases.
 	ForceParallel bool
+	// QC, when set, threads lifecycle governance (cancellation, deadline,
+	// row and memory budgets) into every operator the planner builds.
+	QC *qctx.QueryContext
 }
 
 // workers resolves the Parallelism option to a worker count; values <= 1
@@ -131,7 +135,7 @@ func (p *Planner) Run(res *transform.Result) (rows []storage.Tuple, sch exec.Row
 		return nil, nil, err
 	}
 	p.notef("final plan:\n%s", exec.Describe(final.op))
-	rows, err = exec.Drain(final.op)
+	rows, err = exec.DrainBudget(final.op, p.opts.QC)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -393,6 +397,7 @@ func (p *Planner) scanInput(tr ast.TableRef) (input, error) {
 		cols[i] = c.Name
 	}
 	scan := exec.NewSeqScan(file, tr.Binding(), cols)
+	scan.QC = p.opts.QC
 	sortedOn := -1
 	if col, ok := p.tempOrder[tr.Relation]; ok {
 		sortedOn = rel.ColumnIndex(col)

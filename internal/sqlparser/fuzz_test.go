@@ -23,6 +23,13 @@ func FuzzParseScript(f *testing.F) {
 		"SELECT 1-2-3-4 FROM",
 		"((((((",
 		"\x00\xff",
+		// Nesting bombs: each would overflow the stack (parse-time or in a
+		// later tree walk) without the maxParseDepth budget.
+		"SELECT X FROM T WHERE " + strings.Repeat("(", 100000) + "A = 1",
+		"SELECT X FROM T WHERE " + strings.Repeat("NOT ", 100000) + "A = 1",
+		"SELECT X FROM T WHERE " + strings.Repeat("A = 1 AND ", 100000) + "A = 1",
+		"SELECT X FROM T WHERE " + strings.Repeat("A = 1 OR ", 100000) + "A = 1",
+		"SELECT X FROM T WHERE A IN " + strings.Repeat("(SELECT X FROM T WHERE A IN ", 100000) + "(SELECT X FROM T)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

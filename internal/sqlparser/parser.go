@@ -10,13 +10,16 @@ import (
 )
 
 // Parse parses a single SQL statement (optionally terminated by a
-// semicolon) into a query block tree.
-func Parse(src string) (*ast.QueryBlock, error) {
+// semicolon) into a query block tree. It never panics on any input: deep
+// nesting is rejected by maxParseDepth and residual parser bugs are
+// converted to errors by recoverParse.
+func Parse(src string) (qb *ast.QueryBlock, err error) {
+	defer recoverParse(&err)
 	p := &parser{lx: &lexer{src: src}}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	qb, err := p.parseQueryBlock()
+	qb, err = p.parseQueryBlock()
 	if err != nil {
 		return nil, err
 	}
@@ -42,8 +45,35 @@ func MustParse(src string) *ast.QueryBlock {
 }
 
 type parser struct {
-	lx  *lexer
-	tok token
+	lx    *lexer
+	tok   token
+	depth int
+}
+
+// maxParseDepth bounds subquery/predicate nesting and AND/OR chain length
+// (a long chain builds an equally deep left-leaning tree that later tree
+// walks recurse over). Go cannot recover from stack overflow, so input
+// like a megabyte of '(' must be rejected by budget, not contained.
+const maxParseDepth = 512
+
+// enter charges one level of nesting; exit with p.depth-- or by restoring
+// a saved depth.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errorf("query exceeds maximum nesting depth %d", maxParseDepth)
+	}
+	return nil
+}
+
+// recoverParse converts a parser panic into an error at the public entry
+// points. No code path is known to panic — the depth budget handles the
+// one class recover cannot (stack overflow) — but user input must never
+// take the process down, so the net stays.
+func recoverParse(err *error) {
+	if v := recover(); v != nil {
+		*err = fmt.Errorf("sql: internal parser error: %v", v)
+	}
 }
 
 func (p *parser) advance() error {
@@ -74,6 +104,10 @@ func (p *parser) atKeyword(kw string) bool {
 // parseQueryBlock parses SELECT [DISTINCT] items FROM tables
 // [WHERE predicates] [GROUP BY columns].
 func (p *parser) parseQueryBlock() (*ast.QueryBlock, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -363,11 +397,16 @@ func flattenAnd(p ast.Predicate) []ast.Predicate {
 }
 
 func (p *parser) parseOr() (ast.Predicate, error) {
+	start := p.depth
+	defer func() { p.depth = start }()
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
 	}
 	for p.atKeyword("OR") {
+		if err := p.enter(); err != nil { // each chain link deepens the tree
+			return nil, err
+		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -381,11 +420,16 @@ func (p *parser) parseOr() (ast.Predicate, error) {
 }
 
 func (p *parser) parseAnd() (ast.Predicate, error) {
+	start := p.depth
+	defer func() { p.depth = start }()
 	left, err := p.parsePrimaryPred()
 	if err != nil {
 		return nil, err
 	}
 	for p.atKeyword("AND") {
+		if err := p.enter(); err != nil { // each chain link deepens the tree
+			return nil, err
+		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -401,6 +445,10 @@ func (p *parser) parseAnd() (ast.Predicate, error) {
 // parsePrimaryPred parses NOT pred, a parenthesized predicate, EXISTS, or a
 // comparison / IN predicate.
 func (p *parser) parsePrimaryPred() (ast.Predicate, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if p.atKeyword("NOT") {
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -376,6 +376,36 @@ func TestMustParsePanics(t *testing.T) {
 	MustParse("not sql")
 }
 
+// TestDepthLimit feeds the parser inputs whose recursion (at parse time
+// or in any later tree walk) is proportional to input length; each must
+// come back as a clean "nesting depth" error, not a stack overflow. A
+// query at a reasonable depth must still parse.
+func TestDepthLimit(t *testing.T) {
+	bombs := map[string]string{
+		"parens":     "SELECT X FROM T WHERE " + strings.Repeat("(", 1<<20) + "A = 1",
+		"not":        "SELECT X FROM T WHERE " + strings.Repeat("NOT ", 1<<20) + "A = 1",
+		"and":        "SELECT X FROM T WHERE " + strings.Repeat("A = 1 AND ", 1<<20) + "A = 1",
+		"or":         "SELECT X FROM T WHERE " + strings.Repeat("A = 1 OR ", 1<<20) + "A = 1",
+		"subqueries": "SELECT X FROM T WHERE A IN " + strings.Repeat("(SELECT X FROM T WHERE A IN ", 1<<18) + "(SELECT X FROM T)",
+	}
+	for name, src := range bombs {
+		t.Run(name, func(t *testing.T) {
+			_, err := Parse(src)
+			if err == nil {
+				t.Fatal("expected a depth error")
+			}
+			if !strings.Contains(err.Error(), "nesting depth") {
+				t.Errorf("error %q is not the depth budget", err)
+			}
+		})
+	}
+	ok := "SELECT X FROM T WHERE " + strings.Repeat("(", 100) + "A = 1" + strings.Repeat(")", 100) + " AND " +
+		strings.Repeat("B = 2 AND ", 100) + "C = 3"
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("reasonable nesting rejected: %v", err)
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	qb := MustParse(paperQueries["kiessling-Q2"])
 	clone := qb.Clone()

@@ -69,8 +69,10 @@ func ParseStatement(src string) (Statement, error) {
 	return stmts[0], nil
 }
 
-// ParseScript parses a semicolon-separated sequence of statements.
-func ParseScript(src string) ([]Statement, error) {
+// ParseScript parses a semicolon-separated sequence of statements. Like
+// Parse, it never panics on any input.
+func ParseScript(src string) (stmts []Statement, err error) {
+	defer recoverParse(&err)
 	p := &parser{lx: &lexer{src: src}}
 	if err := p.advance(); err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -109,8 +110,21 @@ func (f *HeapFile) TuplesPerPage() int { return f.tuplesPerPage }
 // goroutine append to a temp file while another scans a different file, so
 // the shared store state (I/O counters, buffer pool) is mutex-protected.
 func (f *HeapFile) Append(t Tuple) {
+	var tear *FaultError
+	if inj := f.store.injector(); inj != nil {
+		// Fault decisions (and latency sleeps) happen before taking the
+		// store mutex so a slow append does not stall unrelated I/O. A
+		// torn write stores a truncated tuple, then panics below.
+		var torn bool
+		if tear, torn = inj.onAppend(f.name); torn && len(t) > 1 {
+			t = t[:len(t)/2]
+		}
+	}
 	f.store.mu.Lock()
 	defer f.store.mu.Unlock()
+	if tear != nil {
+		defer panic(tear)
+	}
 	f.sealed = false
 	if len(f.pages) == 0 || len(f.pages[len(f.pages)-1].tuples) == f.tuplesPerPage {
 		f.pages = append(f.pages, &page{tuples: make([]Tuple, 0, f.tuplesPerPage)})
@@ -140,6 +154,9 @@ func (f *HeapFile) Seal() {
 // ReadPage fetches page i through the buffer pool, counting a read on a
 // miss. The returned slice must not be mutated.
 func (f *HeapFile) ReadPage(i int) []Tuple {
+	if inj := f.store.injector(); inj != nil {
+		inj.onRead(f.name)
+	}
 	f.store.mu.Lock()
 	defer f.store.mu.Unlock()
 	if i < 0 || i >= len(f.pages) {
@@ -154,6 +171,9 @@ func (f *HeapFile) ReadPage(i int) []Tuple {
 // merge buffers, so its I/O follows the 2·P·log_{B-1}(P) model rather than
 // LRU caching.
 func (f *HeapFile) ReadPageDirect(i int) []Tuple {
+	if inj := f.store.injector(); inj != nil {
+		inj.onRead(f.name)
+	}
 	f.store.mu.Lock()
 	defer f.store.mu.Unlock()
 	if i < 0 || i >= len(f.pages) {
@@ -279,6 +299,10 @@ type Store struct {
 	files map[string]*HeapFile
 	stats IOStats
 	tmpID int
+	// fault holds the chaos harness's injector (see fault.go); nil for
+	// normal operation. Atomic so arming/disarming does not race the
+	// lock-free fast-path check in page reads and appends.
+	fault atomic.Pointer[*FaultInjector]
 }
 
 // NewStore creates a store whose buffer pool holds bufferPages pages — the

@@ -158,31 +158,21 @@ func (op CompareOp) Apply(a, b Value) (Tri, error) {
 	}
 }
 
-// SortLess is a total order over values used by sorting and duplicate
-// elimination: NULL sorts before every non-NULL value, and NULLs are equal
-// to each other. It panics on incomparable kinds, which resolution prevents.
-func SortLess(a, b Value) bool {
+// TotalCompare is the total order over values used by sorting, merging,
+// and duplicate elimination: NULL sorts before every non-NULL value, and
+// NULLs are equal to each other. Incomparable kinds (e.g. a string
+// against a number) return an error, which execution surfaces as a
+// per-query type error — never a panic, since mixed kinds can reach a
+// sort or merge-join key from user queries over untyped literals.
+func TotalCompare(a, b Value) (int, error) {
 	if a.IsNull() {
-		return !b.IsNull()
+		if b.IsNull() {
+			return 0, nil
+		}
+		return -1, nil
 	}
 	if b.IsNull() {
-		return false
+		return 1, nil
 	}
-	c, err := Compare(a, b)
-	if err != nil {
-		panic(err)
-	}
-	return c < 0
-}
-
-// SortCompare is the three-way form of SortLess.
-func SortCompare(a, b Value) int {
-	switch {
-	case SortLess(a, b):
-		return -1
-	case SortLess(b, a):
-		return 1
-	default:
-		return 0
-	}
+	return Compare(a, b)
 }

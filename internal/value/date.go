@@ -60,16 +60,6 @@ func ParseDate(s string) (Date, error) {
 	return NewDate(year, nums[0], nums[1])
 }
 
-// MustParseDate is ParseDate for statically-known literals; it panics on
-// malformed input.
-func MustParseDate(s string) Date {
-	d, err := ParseDate(s)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // Year returns the calendar year.
 func (d Date) Year() int { return int(d.enc / 10000) }
 

@@ -5,6 +5,15 @@ import (
 	"testing/quick"
 )
 
+// mustParseDate parses a known-good date literal for test data.
+func mustParseDate(s string) Date {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		KindNull:   "NULL",
@@ -54,7 +63,6 @@ func TestAccessorPanics(t *testing.T) {
 		"Float on string": func() { NewString("x").Float() },
 		"Str on int":      func() { NewInt(1).Str() },
 		"DateOf on int":   func() { NewInt(1).DateOf() },
-		"Compare in Less": func() { SortLess(NewInt(1), NewString("a")) },
 	} {
 		func() {
 			defer func() {
@@ -76,8 +84,8 @@ func TestValueString(t *testing.T) {
 		{NewInt(-7), "-7"},
 		{NewFloat(1.5), "1.5"},
 		{NewString("P2"), "'P2'"},
-		{NewDateValue(MustParseDate("7-3-79")), "7-3-79"},
-		{NewDateValue(MustParseDate("2001-02-03")), "2001-02-03"},
+		{NewDateValue(mustParseDate("7-3-79")), "7-3-79"},
+		{NewDateValue(mustParseDate("2001-02-03")), "2001-02-03"},
 	}
 	for _, c := range cases {
 		if got := c.v.String(); got != c.want {
@@ -102,8 +110,8 @@ func TestEqual(t *testing.T) {
 	if NewString("a").Equal(NewString("b")) {
 		t.Error("'a' must not Equal 'b'")
 	}
-	d := NewDateValue(MustParseDate("1-1-80"))
-	if !d.Equal(NewDateValue(MustParseDate("1-1-80"))) {
+	d := NewDateValue(mustParseDate("1-1-80"))
+	if !d.Equal(NewDateValue(mustParseDate("1-1-80"))) {
 		t.Error("equal dates must Equal")
 	}
 }
@@ -141,7 +149,7 @@ func TestCompareErrors(t *testing.T) {
 	if _, err := Compare(NewInt(1), NewString("x")); err == nil {
 		t.Error("Compare int/string must error")
 	}
-	if _, err := Compare(NewDateValue(MustParseDate("1-1-80")), NewInt(1)); err == nil {
+	if _, err := Compare(NewDateValue(mustParseDate("1-1-80")), NewInt(1)); err == nil {
 		t.Error("Compare date/int must error")
 	}
 }
@@ -246,21 +254,24 @@ func TestTriLogic(t *testing.T) {
 	}
 }
 
-func TestSortLessNulls(t *testing.T) {
-	if !SortLess(Null, NewInt(-100)) {
-		t.Error("NULL must sort before any value")
+func TestTotalCompareNulls(t *testing.T) {
+	if c, err := TotalCompare(Null, NewInt(-100)); err != nil || c >= 0 {
+		t.Errorf("NULL must sort before any value: %d, %v", c, err)
 	}
-	if SortLess(NewInt(-100), Null) {
-		t.Error("no value sorts before NULL")
+	if c, err := TotalCompare(NewInt(-100), Null); err != nil || c <= 0 {
+		t.Errorf("no value sorts before NULL: %d, %v", c, err)
 	}
-	if SortLess(Null, Null) {
-		t.Error("NULL is not less than NULL")
+	if c, err := TotalCompare(Null, Null); err != nil || c != 0 {
+		t.Errorf("TotalCompare(NULL,NULL) = %d, %v, want 0", c, err)
 	}
-	if SortCompare(Null, Null) != 0 {
-		t.Error("SortCompare(NULL,NULL) != 0")
+	if c, err := TotalCompare(NewInt(1), NewInt(2)); err != nil || c != -1 {
+		t.Errorf("TotalCompare(1,2) = %d, %v", c, err)
 	}
-	if SortCompare(NewInt(1), NewInt(2)) != -1 || SortCompare(NewInt(2), NewInt(1)) != 1 {
-		t.Error("SortCompare ordering wrong")
+	if c, err := TotalCompare(NewInt(2), NewInt(1)); err != nil || c != 1 {
+		t.Errorf("TotalCompare(2,1) = %d, %v", c, err)
+	}
+	if _, err := TotalCompare(NewInt(1), NewString("a")); err == nil {
+		t.Error("TotalCompare across kinds must error, not panic")
 	}
 }
 
@@ -292,26 +303,18 @@ func TestDateParsingErrors(t *testing.T) {
 			t.Errorf("ParseDate(%q): expected error", in)
 		}
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("MustParseDate must panic on bad input")
-			}
-		}()
-		MustParseDate("garbage")
-	}()
 }
 
 func TestDateOrdering(t *testing.T) {
-	early := NewDateValue(MustParseDate("6/22/76"))
-	late := NewDateValue(MustParseDate("1-1-80"))
+	early := NewDateValue(mustParseDate("6/22/76"))
+	late := NewDateValue(mustParseDate("1-1-80"))
 	tri, err := OpLt.Apply(early, late)
 	if err != nil || tri != True {
 		t.Errorf("6/22/76 < 1-1-80 = %v, %v", tri, err)
 	}
 	// The paper's restriction SHIPDATE < 1-1-80 in Kiessling's Q2.
-	cutoff := NewDateValue(MustParseDate("1-1-80"))
-	ship := NewDateValue(MustParseDate("5-7-83"))
+	cutoff := NewDateValue(mustParseDate("1-1-80"))
+	ship := NewDateValue(mustParseDate("5-7-83"))
 	tri, _ = OpLt.Apply(ship, cutoff)
 	if tri != False {
 		t.Errorf("5-7-83 < 1-1-80 must be false, got %v", tri)
@@ -399,8 +402,8 @@ func TestAccumulatorMaxMin(t *testing.T) {
 		t.Errorf("MIN = %v", got)
 	}
 	// Dates aggregate too (MAX(SHIPDATE) style).
-	d1 := NewDateValue(MustParseDate("7-3-79"))
-	d2 := NewDateValue(MustParseDate("5-7-83"))
+	d1 := NewDateValue(mustParseDate("7-3-79"))
+	d2 := NewDateValue(mustParseDate("5-7-83"))
 	if got := accumulate(t, AggMax, d1, d2); !got.Equal(d2) {
 		t.Errorf("MAX(dates) = %v", got)
 	}
@@ -464,7 +467,9 @@ func TestAccumulatorProperties(t *testing.T) {
 		maxV := accumulate(t, AggMax, vs...)
 		minV := accumulate(t, AggMin, vs...)
 		for _, v := range vs {
-			if SortLess(maxV, v) || SortLess(v, minV) {
+			cMax, err1 := TotalCompare(maxV, v)
+			cMin, err2 := TotalCompare(v, minV)
+			if err1 != nil || err2 != nil || cMax < 0 || cMin < 0 {
 				return false
 			}
 		}
@@ -482,7 +487,7 @@ func TestGobRoundTrip(t *testing.T) {
 		NewInt(42), NewInt(-7),
 		NewFloat(2.5), NewFloat(-0.0),
 		NewString(""), NewString("O'BRIEN|x"),
-		NewDateValue(MustParseDate("7-3-79")),
+		NewDateValue(mustParseDate("7-3-79")),
 	}
 	for _, v := range vals {
 		b, err := v.GobEncode()

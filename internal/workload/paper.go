@@ -46,7 +46,13 @@ func (db *DB) Load(rel *schema.Relation, tuplesPerPage int, rows []storage.Tuple
 
 func i(v int64) value.Value  { return value.NewInt(v) }
 func s(v string) value.Value { return value.NewString(v) }
-func d(v string) value.Value { return value.NewDateValue(value.MustParseDate(v)) }
+func d(v string) value.Value {
+	dt, err := value.ParseDate(v)
+	if err != nil {
+		panic(err) // static paper data, parse failure is a programming error
+	}
+	return value.NewDateValue(dt)
+}
 
 func partsRel() *schema.Relation {
 	return &schema.Relation{Name: "PARTS", Columns: []schema.Column{

@@ -25,13 +25,30 @@ package nestedsql
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/planner"
+	"repro/internal/qctx"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/value"
 	"repro/internal/workload"
+)
+
+// Typed lifecycle errors, for errors.Is against failures of governed
+// queries (see WithTimeout, WithMaxRows, WithMemoryBudget, WithCancel).
+var (
+	// ErrQueryTimeout reports a query that ran past WithTimeout.
+	ErrQueryTimeout = qctx.ErrQueryTimeout
+	// ErrCanceled reports a query stopped via WithCancel.
+	ErrCanceled = qctx.ErrCanceled
+	// ErrBudgetExceeded is the common ancestor of the budget errors.
+	ErrBudgetExceeded = qctx.ErrBudgetExceeded
+	// ErrRowBudget reports a query that produced more rows than WithMaxRows.
+	ErrRowBudget = qctx.ErrRowBudget
+	// ErrMemoryBudget reports a query that buffered more than WithMemoryBudget.
+	ErrMemoryBudget = qctx.ErrMemoryBudget
 )
 
 // Type is a column type.
@@ -243,6 +260,33 @@ func WithParallelism(n int) QueryOption {
 // the query fail. It has no effect without WithParallelism.
 func WithParallelVerify() QueryOption {
 	return func(o *engine.Options) { o.VerifyParallel = true }
+}
+
+// WithTimeout bounds the query's wall-clock execution; exceeding it fails
+// the query with ErrQueryTimeout. Zero means no limit (the default).
+func WithTimeout(d time.Duration) QueryOption {
+	return func(o *engine.Options) { o.Timeout = d }
+}
+
+// WithMaxRows bounds the number of result rows; a query producing more
+// fails with ErrRowBudget within one row of the limit.
+func WithMaxRows(n int64) QueryOption {
+	return func(o *engine.Options) { o.MaxRows = n }
+}
+
+// WithMemoryBudget bounds the bytes a query may buffer at once in hash
+// builds and sort runs; exceeding it fails the query with ErrMemoryBudget
+// (a cost-gated parallel plan is retried sequentially once first).
+func WithMemoryBudget(n int64) QueryOption {
+	return func(o *engine.Options) { o.MaxBytes = n }
+}
+
+// WithCancel cancels the query with ErrCanceled as soon as ch is closed —
+// wire it to a signal handler for Ctrl-C, or close it from another
+// goroutine. Cancellation is cooperative and takes effect within one
+// morsel of work.
+func WithCancel(ch <-chan struct{}) QueryOption {
+	return func(o *engine.Options) { o.Cancel = ch }
 }
 
 // PageIO is the paper's cost metric for one query.

@@ -19,4 +19,10 @@ go test -race ./...
 echo "==> go test -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser"
 go test -run '^$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 
+# Short chaos pass: a reduced-round run of the seeded fault-injection
+# suite (the full 250-round sweep is `make chaos`). -count=1 defeats the
+# test cache so the faults actually execute in this gate.
+echo "==> go test -race -short -run TestChaosFaultInjection ./internal/engine"
+go test -race -short -count=1 -run TestChaosFaultInjection ./internal/engine
+
 echo "==> all checks passed"
