@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos bench
+.PHONY: check vet build test race fuzz chaos storm bench
 
-check: vet build race fuzz chaos
+check: vet build race fuzz chaos storm
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,13 @@ fuzz:
 # test cache so the faults actually run.
 chaos:
 	$(GO) test -race -count=1 -v -run TestChaosFaultInjection ./internal/engine
+
+# The multi-client chaos storm: 8 clients hammer one engine through the
+# admission gateway with faults armed, then the engine drains to zero.
+# Every query must end oracle-correct or with a typed error, the memory
+# pool must never overcommit, and nothing may leak.
+storm:
+	$(GO) test -race -count=1 -v -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/schema"
@@ -351,4 +352,48 @@ func BenchmarkNotInAntiJoin(b *testing.B) {
 			benchQuery(b, mkSynthetic(8, cfg), sql, engine.Options{Strategy: s})
 		})
 	}
+}
+
+// ---- Admission gateway overhead and contended throughput (extension) ----
+
+// BenchmarkAdmissionGateway measures what the admission gate adds to an
+// uncontended query ("off" vs "on": one client, slots always free) and
+// what throughput looks like when parallel clients contend for fewer
+// slots than there are clients ("contended": the queue is deep enough
+// that nothing is shed, so every operation is a completed query).
+func BenchmarkAdmissionGateway(b *testing.B) {
+	sql := workload.KiesslingQ2
+	opts := engine.Options{Strategy: engine.TransformJA2}
+	mkGoverned := func() *engine.DB {
+		db := mkFixture(8, workload.LoadKiessling)()
+		db.EnableAdmission(admission.Config{
+			MaxConcurrent: 8,
+			QueueDepth:    1024,
+			PoolBytes:     64 << 20,
+		})
+		return db
+	}
+	b.Run("off", func(b *testing.B) {
+		benchQuery(b, mkFixture(8, workload.LoadKiessling), sql, opts)
+	})
+	b.Run("on", func(b *testing.B) {
+		benchQuery(b, mkGoverned, sql, opts)
+	})
+	b.Run("contended", func(b *testing.B) {
+		db := mkFixture(8, workload.LoadKiessling)()
+		db.EnableAdmission(admission.Config{
+			MaxConcurrent: 4,
+			QueueDepth:    1024,
+			PoolBytes:     64 << 20,
+		})
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := db.Query(sql, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

@@ -51,6 +51,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all | "+names()+")")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query wall-clock limit for experiment queries (0 = none)")
 	flag.Int64Var(&queryMaxRows, "max-rows", 0, "per-query result-row budget for experiment queries (0 = none)")
+	flag.IntVar(&admitMaxConcurrent, "max-concurrent", 0, "admission: max concurrent queries per experiment database (0 = no gateway)")
+	flag.IntVar(&admitQueueDepth, "queue-depth", 0, "admission: queries allowed to wait behind the running ones")
+	flag.Int64Var(&admitMemPool, "mem-pool", 0, "admission: global memory pool in bytes (0 = none)")
 	flag.Parse()
 
 	if *exp == "all" {

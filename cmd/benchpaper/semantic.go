@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/schema"
@@ -14,9 +15,28 @@ import (
 	"repro/internal/workload"
 )
 
+// admitMaxConcurrent, admitQueueDepth, and admitMemPool hold the
+// -max-concurrent, -queue-depth, and -mem-pool admission flags; when any
+// is set, every experiment database runs behind the admission gateway,
+// which lets the overhead experiment compare governed vs. raw runs on
+// identical workloads. All zero (the default) keeps the gateway off and
+// the golden output byte-identical.
+var (
+	admitMaxConcurrent int
+	admitQueueDepth    int
+	admitMemPool       int64
+)
+
 // newDB loads a fixture into a fresh engine database.
 func newDB(bufferPages int, load func(*workload.DB) error) *engine.DB {
 	db := engine.New(bufferPages)
+	if admitMaxConcurrent > 0 || admitMemPool > 0 {
+		db.EnableAdmission(admission.Config{
+			MaxConcurrent: admitMaxConcurrent,
+			QueueDepth:    admitQueueDepth,
+			PoolBytes:     admitMemPool,
+		})
+	}
 	if err := load(&workload.DB{Cat: db.Catalog(), Store: db.Store()}); err != nil {
 		panic(err)
 	}

@@ -64,6 +64,9 @@ func main() {
 	verifyParallel := flag.Bool("verify-parallel", false, "cross-check every parallel result against the sequential plan and nested iteration")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit; exceeding it fails the query (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query result-row budget; exceeding it fails the query (0 = none)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission: max concurrent queries (0 = no admission gateway)")
+	queueDepth := flag.Int("queue-depth", 0, "admission: queries allowed to wait behind the running ones; beyond that, shed")
+	memPool := flag.Int64("mem-pool", 0, "admission: global memory pool (bytes) leased out per query (0 = none)")
 	var loads csvLoads
 	flag.Var(&loads, "load", "bulk-load a CSV file: TABLE=FILE (repeatable; first line is a header)")
 	open := flag.String("open", "", "open a database snapshot instead of a fixture")
@@ -94,7 +97,15 @@ func main() {
 			fail(err)
 		}
 	} else {
-		db = nestedsql.Open(nestedsql.WithBufferPages(*buffer))
+		openOpts := []nestedsql.Option{nestedsql.WithBufferPages(*buffer)}
+		if *maxConcurrent > 0 || *memPool > 0 {
+			openOpts = append(openOpts, nestedsql.WithAdmissionControl(nestedsql.AdmissionConfig{
+				MaxConcurrent: *maxConcurrent,
+				QueueDepth:    *queueDepth,
+				MemPool:       *memPool,
+			}))
+		}
+		db = nestedsql.Open(openOpts...)
 	}
 	if *open == "" && *fixture != "none" {
 		f, ok := fixtures[*fixture]

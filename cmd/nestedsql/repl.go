@@ -191,8 +191,14 @@ func metaCommand(db *nestedsql.DB, cmd string, sess *session) bool {
 			break
 		}
 		fmt.Println("statistics collected")
+	case `\stats`:
+		if db.Internal().Admission() == nil {
+			fmt.Println("admission gateway disabled (start with -max-concurrent / -mem-pool)")
+			break
+		}
+		fmt.Println(db.AdmissionStats())
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\timeout, \\analyze, \\index, \\q)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\timeout, \\analyze, \\index, \\stats, \\q)\n", fields[0])
 	}
 	return true
 }

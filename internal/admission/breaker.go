@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig sizes the parallel-path circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive parallel-worker faults trip the
+	// breaker open; 0 picks the default (3), negative disables it.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// probe query try the parallel path again; 0 picks the default (2s).
+	Cooldown time.Duration
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a classic three-state circuit breaker guarding the parallel
+// execution path. Closed: parallel allowed, consecutive faults counted.
+// Open: parallel denied until the cooldown elapses. Half-open: exactly
+// one probe query gets the parallel path; its outcome closes or re-opens
+// the breaker. Queries denied the parallel path degrade to sequential
+// plans (or fail with qctx.ErrCircuitOpen when parallelism was forced).
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool
+	trips    int64
+}
+
+// NewBreaker creates a breaker; see BreakerConfig for defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown, now: time.Now}
+}
+
+// Allow reports whether the caller may take the parallel path. In the
+// half-open state only one caller at a time gets a probe slot; it must
+// report its outcome (ReportFault / ReportOK) to release the slot.
+func (b *Breaker) Allow() bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// ReportFault records a parallel-worker fault. Enough consecutive faults
+// trip the breaker; a fault during a half-open probe re-opens it for a
+// fresh cooldown.
+func (b *Breaker) ReportFault() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			b.trips++
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	}
+}
+
+// ReportOK records a parallel success: it resets the consecutive-fault
+// count, and a successful half-open probe closes the breaker.
+func (b *Breaker) ReportOK() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails = 0
+	case breakerHalfOpen:
+		b.state = breakerClosed
+		b.probing = false
+		b.fails = 0
+	}
+}
+
+// State renders the breaker state for stats output.
+func (b *Breaker) State() string {
+	if b.threshold < 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

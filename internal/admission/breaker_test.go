@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestBreaker returns a breaker with a controllable clock.
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripAndReprobe(t *testing.T) {
+	b, now := newTestBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	// Faults below the threshold keep the breaker closed.
+	b.ReportFault()
+	b.ReportFault()
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatalf("breaker opened below threshold: %s", b.State())
+	}
+	// A success resets the consecutive count.
+	b.ReportOK()
+	b.ReportFault()
+	b.ReportFault()
+	if b.State() != "closed" {
+		t.Fatal("ReportOK did not reset the fault count")
+	}
+	// The third consecutive fault trips it.
+	b.ReportFault()
+	if b.State() != "open" || b.Trips() != 1 {
+		t.Fatalf("state=%s trips=%d, want open/1", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed parallel")
+	}
+
+	// After the cooldown exactly one probe gets through.
+	*now = now.Add(time.Second)
+	if !b.Allow() || b.State() != "half-open" {
+		t.Fatalf("cooldown elapsed but no probe allowed (state %s)", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller got a probe slot while one is in flight")
+	}
+	// Probe fault re-opens for a fresh cooldown.
+	b.ReportFault()
+	if b.State() != "open" || b.Trips() != 2 {
+		t.Fatalf("state=%s trips=%d after failed probe, want open/2", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed parallel before cooldown")
+	}
+
+	// Second probe succeeds and closes the breaker.
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.ReportOK()
+	if b.State() != "closed" {
+		t.Fatalf("state=%s after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied parallel")
+	}
+}
+
+func TestBreakerHalfOpenSecondCaller(t *testing.T) {
+	b, now := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	b.ReportFault()
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	// While the probe is out, another success report (e.g. a sequential
+	// run) must not release the probe slot for parallel.
+	if b.Allow() {
+		t.Fatal("probe slot double-issued")
+	}
+	b.ReportOK()
+	if !b.Allow() {
+		t.Fatal("breaker still denying after probe success")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: -1})
+	for i := 0; i < 10; i++ {
+		b.ReportFault()
+	}
+	if !b.Allow() || b.State() != "disabled" {
+		t.Fatalf("disabled breaker tripped: %s", b.State())
+	}
+}

@@ -18,8 +18,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/ast"
 	"repro/internal/classify"
 	"repro/internal/exec"
@@ -59,12 +61,17 @@ func (s Strategy) String() string {
 }
 
 // DB is a database instance: a catalog plus a paged store with a B-page
-// buffer pool, and optionally System R statistics for the planner.
+// buffer pool, and optionally System R statistics for the planner. It is
+// safe for concurrent queries: temp tables are namespaced per query, the
+// catalog is internally locked, and — when EnableAdmission is called —
+// every query passes the admission gateway first.
 type DB struct {
 	cat     *schema.Catalog
 	store   *storage.Store
 	stats   *stats.Stats
 	indexes *index.Registry
+	admit   *admission.Controller
+	qcount  atomic.Int64 // temp-table namespace allocator
 }
 
 // New creates an empty database with the given buffer pool size (the
@@ -75,6 +82,30 @@ func New(bufferPages int) *DB {
 		store:   storage.NewStore(bufferPages),
 		indexes: index.NewRegistry(),
 	}
+}
+
+// EnableAdmission installs an admission controller so every Query passes
+// the concurrency gateway: bounded concurrent queries, a bounded FIFO
+// queue whose wait counts against the query deadline, memory-pool
+// leasing, transient-fault retries, the parallel-path circuit breaker,
+// and graceful Drain. Call it before serving concurrent traffic; it is
+// not safe to swap controllers while queries run.
+func (db *DB) EnableAdmission(cfg admission.Config) *admission.Controller {
+	db.admit = admission.NewController(cfg)
+	return db.admit
+}
+
+// Admission returns the installed controller, or nil.
+func (db *DB) Admission() *admission.Controller { return db.admit }
+
+// Drain gracefully shuts query traffic down: admission closes, in-flight
+// queries get until the deadline to finish, stragglers are canceled
+// through their lifecycle contexts. A no-op without EnableAdmission.
+func (db *DB) Drain(timeout time.Duration) error {
+	if db.admit == nil {
+		return nil
+	}
+	return db.admit.Drain(timeout)
 }
 
 // Catalog exposes the catalog (for fixtures and tools).
@@ -196,11 +227,21 @@ type Options struct {
 	// Cancel, when non-nil, cancels the query with qctx.ErrCanceled as
 	// soon as the channel is closed (e.g. Ctrl-C in the REPL).
 	Cancel <-chan struct{}
+
+	// noAdmission bypasses the admission gateway. Internal: the
+	// differential-oracle re-runs inside an already-admitted query use it,
+	// both to avoid deadlocking against their own ticket and to keep
+	// oracle work out of the admission accounting.
+	noAdmission bool
+	// ticket is the admission grant governing this query, when the
+	// gateway is enabled.
+	ticket *admission.Ticket
 }
 
-// governed reports whether any lifecycle limit is configured.
+// governed reports whether the query needs a lifecycle context: any
+// explicit limit, or an admission ticket (drain cancels through it).
 func (o Options) governed() bool {
-	return o.Timeout > 0 || o.MaxRows > 0 || o.MaxBytes > 0 || o.Cancel != nil
+	return o.Timeout > 0 || o.MaxRows > 0 || o.MaxBytes > 0 || o.Cancel != nil || o.ticket != nil
 }
 
 // Result is a completed query.
@@ -214,8 +255,38 @@ type Result struct {
 	Trace    []string // transformation steps and plan notes
 }
 
-// Query parses, resolves, and executes one SQL statement.
+// Query parses, resolves, and executes one SQL statement. With admission
+// enabled it first passes the gateway: it may wait in the FIFO queue
+// (the wait counts against Timeout), be shed with qctx.ErrOverloaded,
+// be rejected with qctx.ErrQueryTimeout if its deadline expires before a
+// slot frees, or run with a degraded (smaller) memory lease and a
+// sequential plan under pool pressure.
 func (db *DB) Query(sql string, opts Options) (*Result, error) {
+	if db.admit != nil && !opts.noAdmission {
+		ticket, err := db.admit.Admit(admission.Request{
+			Timeout:  opts.Timeout,
+			MemBytes: opts.MaxBytes,
+			Cancel:   opts.Cancel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer ticket.Release()
+		// Queue time already consumed part of the deadline; the qctx
+		// timer below gets only what is left.
+		if rem, ok := ticket.Remaining(); ok {
+			opts.Timeout = rem
+		}
+		if lease := ticket.Lease(); lease > 0 {
+			opts.MaxBytes = lease
+		}
+		opts.ticket = ticket
+	}
+	return db.run(sql, opts)
+}
+
+// run executes one already-admitted (or ungoverned) statement.
+func (db *DB) run(sql string, opts Options) (*Result, error) {
 	qb, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -234,6 +305,8 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 	if opts.governed() {
 		qc = qctx.New(qctx.Limits{Timeout: opts.Timeout, MaxRows: opts.MaxRows, MaxBytes: opts.MaxBytes})
 		defer qc.Finish()
+		// A drain cancels stragglers through the bound ticket.
+		opts.ticket.Bind(qc)
 		if opts.Cancel != nil {
 			// An already-closed Cancel channel stops the query before it
 			// starts — don't leave that to the watcher goroutine's schedule.
@@ -256,18 +329,59 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 		}
 	}
 
+	if opts.ticket != nil && opts.ticket.Degraded() && parallelRequested(opts) {
+		// Overload degradation: a reduced memory lease means pool
+		// pressure, and sequential plans buffer less than partitioned
+		// parallel hash builds.
+		opts.Planner.Parallelism = 0
+		opts.Planner.ForceParallel = false
+		res.Trace = append(res.Trace,
+			fmt.Sprintf("admission: degraded memory lease (%d bytes); running sequentially", opts.MaxBytes))
+	}
+
 	before := db.store.Stats()
-	switch opts.Strategy {
-	case NestedIteration:
-		err = db.runNested(qb, qc, res)
-	case TransformJA2, TransformKim:
-		variant := transform.JA2
-		if opts.Strategy == TransformKim {
-			variant = transform.KimJA
+	baseTrace := len(res.Trace)
+	for attempt := 0; ; {
+		res.Rows, res.FellBack = nil, false
+		switch opts.Strategy {
+		case NestedIteration:
+			err = db.runNested(qb, qc, res)
+		case TransformJA2, TransformKim:
+			variant := transform.JA2
+			if opts.Strategy == TransformKim {
+				variant = transform.KimJA
+			}
+			err = db.runTransformed(qb, variant, opts, qc, res)
+		default:
+			err = fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 		}
-		err = db.runTransformed(qb, variant, opts, qc, res)
-	default:
-		err = fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
+		// Transient-fault retry: only injected storage faults qualify
+		// (qctx.Retryable), only under admission control, with capped
+		// exponential backoff + jitter. The deadline keeps ticking
+		// through the backoff sleep.
+		if err == nil || db.admit == nil || opts.noAdmission || !qctx.Retryable(err) {
+			break
+		}
+		delay, ok := db.admit.RetryDelay(attempt)
+		if !ok {
+			break
+		}
+		attempt++
+		// Drop the failed attempt's transform/plan notes so Explain shows
+		// one coherent execution, then record the retry itself.
+		res.Trace = append(res.Trace[:baseTrace],
+			fmt.Sprintf("transient fault (%v); retry %d after %v", err, attempt, delay))
+		baseTrace = len(res.Trace)
+		interrupted := false
+		select {
+		case <-time.After(delay):
+		case <-qc.Done():
+			interrupted = true
+		}
+		if interrupted || qc.Check() != nil {
+			break
+		}
+		qc.ResetUsage()
 	}
 	if err != nil {
 		return nil, err
@@ -335,6 +449,24 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		popts.Indexes = db.indexes
 	}
 	popts.QC = qc
+	if popts.TempSuffix == "" {
+		// Namespace this query's TEMPn materializations in the shared
+		// store and catalog so concurrent queries cannot collide.
+		popts.TempSuffix = fmt.Sprintf("#q%d", db.qcount.Add(1))
+	}
+	// Circuit breaker: after repeated parallel-worker faults the parallel
+	// path is closed for a cooldown. Cost-gated parallel requests degrade
+	// to sequential; an explicit ForceParallel demand fails typed.
+	useBreaker := db.admit != nil && !opts.noAdmission &&
+		(popts.Parallelism > 1 || popts.Parallelism < 0)
+	if useBreaker && !db.admit.AllowParallel() {
+		if popts.ForceParallel {
+			return fmt.Errorf("engine: parallel plan refused: %w", qctx.ErrCircuitOpen)
+		}
+		res.Trace = append(res.Trace, "admission: parallel circuit open; running sequentially")
+		popts.Parallelism = 0
+		useBreaker = false
+	}
 	var rows []storage.Tuple
 	runPlan := func(o planner.Options) error {
 		pl := planner.New(db.cat, db.store, o)
@@ -347,6 +479,17 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		return err
 	}
 	err = runPlan(popts)
+	if useBreaker {
+		// Report the parallel outcome so the breaker can trip or heal; a
+		// contained panic is a worker fault, anything else (success,
+		// timeout, budget) means the parallel path itself held up.
+		var pe *qctx.PanicError
+		if errors.As(err, &pe) {
+			db.admit.ReportParallelFault()
+		} else {
+			db.admit.ReportParallelOK()
+		}
+	}
 	parallel := popts.Parallelism > 1 || popts.Parallelism < 0
 	if err != nil && parallel && retrySequentially(err) {
 		// Graceful degradation: a parallel plan that lost a worker to a

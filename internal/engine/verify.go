@@ -36,6 +36,11 @@ func (db *DB) verifyParallel(sql string, qb *ast.QueryBlock, opts Options, res *
 	seqOpts.VerifyParallel = false
 	seqOpts.Planner.Parallelism = 0
 	seqOpts.Planner.ForceParallel = false
+	// Oracle re-runs happen inside an already-admitted query: going back
+	// through the gateway would deadlock against our own ticket and skew
+	// the admission counters.
+	seqOpts.noAdmission = true
+	seqOpts.ticket = nil
 	seq, err := db.Query(sql, seqOpts)
 	if err != nil {
 		return fmt.Errorf("engine: parallel oracle: sequential re-run failed: %w", err)
@@ -47,7 +52,7 @@ func (db *DB) verifyParallel(sql string, qb *ast.QueryBlock, opts Options, res *
 	if opts.Strategy != TransformJA2 || hasAllQuantifier(qb) {
 		return nil
 	}
-	ni, err := db.Query(sql, Options{Strategy: NestedIteration})
+	ni, err := db.Query(sql, Options{Strategy: NestedIteration, noAdmission: true})
 	if err != nil {
 		return fmt.Errorf("engine: parallel oracle: nested-iteration re-run failed: %w", err)
 	}

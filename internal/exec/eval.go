@@ -29,6 +29,10 @@ type Evaluator struct {
 	// for every root-block result row. Inner blocks do not charge the row
 	// budget — it bounds what the query returns, not what it examines.
 	QC *qctx.QueryContext
+	// MapName, when set, translates relation references to their physical
+	// names — the planner uses it so blocks referencing its namespaced
+	// temporary tables (TEMP1 → TEMP1#qN) resolve under concurrency.
+	MapName func(string) string
 
 	// root is the block whose emissions count against the row budget,
 	// recorded by EvalQuery.
@@ -75,11 +79,15 @@ func (ev *Evaluator) evalBlock(qb *ast.QueryBlock, env *Env) ([]storage.Tuple, R
 	files := make([]*storage.HeapFile, len(qb.From))
 	schemas := make([]RowSchema, len(qb.From))
 	for i, tr := range qb.From {
-		f, ok := ev.Store.Lookup(tr.Relation)
+		name := tr.Relation
+		if ev.MapName != nil {
+			name = ev.MapName(name)
+		}
+		f, ok := ev.Store.Lookup(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("exec: no stored relation %s", tr.Relation)
 		}
-		rel, ok := ev.Cat.Lookup(tr.Relation)
+		rel, ok := ev.Cat.Lookup(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("exec: relation %s not in catalog", tr.Relation)
 		}

@@ -83,6 +83,12 @@ type Options struct {
 	// QC, when set, threads lifecycle governance (cancellation, deadline,
 	// row and memory budgets) into every operator the planner builds.
 	QC *qctx.QueryContext
+	// TempSuffix namespaces the physical names of this query's temporary
+	// tables in the shared store and catalog (TEMP1 → TEMP1<suffix>), so
+	// concurrent queries materializing the same logical TEMPn cannot
+	// collide. Plan notes and EXPLAIN keep the logical names. Empty means
+	// no namespacing (single-query tools, paper experiments).
+	TempSuffix string
 }
 
 // workers resolves the Parallelism option to a worker count; values <= 1
@@ -101,15 +107,40 @@ type Planner struct {
 	opts  Options
 
 	notes     []string
-	tempNames []string          // named temp tables (catalog + store)
+	tempNames []string          // physical temp-table names (catalog + store)
 	dropLater []string          // anonymous materializations
-	tempOrder map[string]string // temp name -> column it is stored sorted on
+	tempOrder map[string]string // logical temp name -> column it is sorted on
+	physNames map[string]string // logical temp name (upper) -> physical name
 	curFrom   []ast.TableRef    // FROM clause of the block being planned
 }
 
 // New creates a planner.
 func New(cat *schema.Catalog, store *storage.Store, opts Options) *Planner {
-	return &Planner{cat: cat, store: store, opts: opts, tempOrder: make(map[string]string)}
+	return &Planner{
+		cat: cat, store: store, opts: opts,
+		tempOrder: make(map[string]string),
+		physNames: make(map[string]string),
+	}
+}
+
+// physName maps a relation reference to its physical name: temporary
+// tables materialized by this planner live under suffixed names when
+// Options.TempSuffix is set; everything else resolves as written.
+func (p *Planner) physName(name string) string {
+	if phys, ok := p.physNames[upperName(name)]; ok {
+		return phys
+	}
+	return name
+}
+
+func upperName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - ('a' - 'A')
+		}
+	}
+	return string(b)
 }
 
 // Notes returns the plan decisions (join methods, sort eliminations) in
@@ -168,12 +199,22 @@ func (p *Planner) buildTemp(temp transform.TempTable) error {
 	if err != nil {
 		return err
 	}
-	file, err := p.store.Create(temp.Name, p.opts.TempTuplesPerPage)
+	phys := temp.Name + p.opts.TempSuffix
+	file, err := p.store.Create(phys, p.opts.TempTuplesPerPage)
 	if err != nil {
 		return fmt.Errorf("planner: temp %s: %w", temp.Name, err)
 	}
-	p.tempNames = append(p.tempNames, temp.Name)
-	if err := p.cat.Define(temp.Rel); err != nil {
+	p.tempNames = append(p.tempNames, phys)
+	p.physNames[upperName(temp.Name)] = phys
+	rel := temp.Rel
+	if phys != temp.Name {
+		// Register the suffixed clone; the transform result keeps the
+		// logical relation so query text and notes stay readable.
+		clone := *temp.Rel
+		clone.Name = phys
+		rel = &clone
+	}
+	if err := p.cat.Define(rel); err != nil {
 		return fmt.Errorf("planner: temp %s: %w", temp.Name, err)
 	}
 	p.notef("%s plan:\n%s", temp.Name, exec.Describe(plan.op))
@@ -270,6 +311,7 @@ func (p *Planner) foldConstantSubqueries(qb *ast.QueryBlock) error {
 			}
 			if ev == nil {
 				ev = exec.NewEvaluator(p.cat, p.store)
+				ev.MapName = p.physName
 				defer ev.Close()
 			}
 			rows, _, err := ev.EvalQuery(sq.Block)
@@ -382,13 +424,16 @@ func eqFold(a, b string) bool {
 	return true
 }
 
-// scanInput builds a sequential scan of one FROM entry.
+// scanInput builds a sequential scan of one FROM entry. Temp-table
+// references resolve through the logical→physical name map so concurrent
+// queries read their own materializations.
 func (p *Planner) scanInput(tr ast.TableRef) (input, error) {
-	rel, ok := p.cat.Lookup(tr.Relation)
+	name := p.physName(tr.Relation)
+	rel, ok := p.cat.Lookup(name)
 	if !ok {
 		return input{}, fmt.Errorf("planner: unknown relation %s", tr.Relation)
 	}
-	file, ok := p.store.Lookup(tr.Relation)
+	file, ok := p.store.Lookup(name)
 	if !ok {
 		return input{}, fmt.Errorf("planner: no stored relation %s", tr.Relation)
 	}

@@ -1,0 +1,95 @@
+// The typed error taxonomy of the lifecycle and admission layers. Every
+// failure a governed query can produce belongs to exactly one family,
+// each anchored by a sentinel matchable with errors.Is through any
+// amount of wrapping (fmt.Errorf %w chains, PanicError containment, the
+// admission layer's OverloadError). Callers — the REPL, the chaos
+// harness, retry logic — branch on these sentinels, never on error
+// strings.
+//
+// The families:
+//
+//	ErrQueryTimeout   the query ran past its deadline (including while
+//	                  waiting in the admission queue)
+//	ErrCanceled       explicit cancellation (Ctrl-C, caller, drain)
+//	ErrBudgetExceeded resource budgets; ErrRowBudget and ErrMemoryBudget
+//	                  wrap it to identify the resource
+//	ErrOverloaded     the admission layer shed the query (full queue or
+//	                  draining engine); carries a retry-after hint
+//	ErrCircuitOpen    the parallel path is circuit-broken and the caller
+//	                  demanded parallel execution
+//	ErrInjectedFault  a chaos-harness storage fault (transient; the only
+//	                  retryable family)
+package qctx
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Typed lifecycle errors. Budget violations wrap ErrBudgetExceeded so
+// callers can test the family with errors.Is and still distinguish the
+// resource via ErrRowBudget / ErrMemoryBudget.
+var (
+	// ErrQueryTimeout reports that the query ran past its deadline.
+	ErrQueryTimeout = errors.New("query timeout exceeded")
+	// ErrCanceled reports an explicit cancellation (Ctrl-C, caller).
+	ErrCanceled = errors.New("query canceled")
+	// ErrBudgetExceeded is the common ancestor of all budget errors.
+	ErrBudgetExceeded = errors.New("query budget exceeded")
+	// ErrRowBudget reports that the query produced more result rows
+	// than its row budget allows.
+	ErrRowBudget = fmt.Errorf("row limit: %w", ErrBudgetExceeded)
+	// ErrMemoryBudget reports that hash builds / sort buffers exceeded
+	// the per-query memory budget.
+	ErrMemoryBudget = fmt.Errorf("memory limit: %w", ErrBudgetExceeded)
+
+	// ErrOverloaded reports that the admission layer refused the query:
+	// the queue was full, or the engine is draining. Concrete errors are
+	// *OverloadError values carrying a retry-after hint.
+	ErrOverloaded = errors.New("engine overloaded")
+	// ErrCircuitOpen reports that repeated parallel-worker faults tripped
+	// the circuit breaker and the caller explicitly demanded a parallel
+	// plan (cost-gated parallel requests degrade to sequential instead).
+	ErrCircuitOpen = errors.New("parallel circuit open")
+
+	// ErrInjectedFault is the storage layer's injected-fault sentinel,
+	// re-exported so the taxonomy is complete in one place. It is the
+	// only transient family: see Retryable.
+	ErrInjectedFault = storage.ErrInjectedFault
+)
+
+// OverloadError is the concrete shed error: the admission queue was full
+// (or the engine was draining) and the query was rejected without doing
+// any work. RetryAfter is the controller's estimate of when capacity will
+// free up — a hint, not a promise.
+type OverloadError struct {
+	Reason     string // "queue full", "draining"
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (%s; retry after %v)", ErrOverloaded, e.Reason, e.RetryAfter)
+}
+
+// Unwrap ties every OverloadError to the ErrOverloaded sentinel.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// Retryable reports whether an error is worth a transient retry of the
+// whole query: an injected storage fault (possibly contained from a
+// panic) that is not also a lifecycle outcome. Timeouts, cancellations,
+// budget violations, sheds, and circuit-breaker rejections are final —
+// retrying them either cannot succeed or would override the caller.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrQueryTimeout) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	return errors.Is(err, ErrInjectedFault)
+}

@@ -21,23 +21,8 @@ import (
 	"time"
 )
 
-// Typed lifecycle errors. Budget violations wrap ErrBudgetExceeded so
-// callers can test the family with errors.Is and still distinguish the
-// resource via ErrRowBudget / ErrMemoryBudget.
-var (
-	// ErrQueryTimeout reports that the query ran past its deadline.
-	ErrQueryTimeout = errors.New("query timeout exceeded")
-	// ErrCanceled reports an explicit cancellation (Ctrl-C, caller).
-	ErrCanceled = errors.New("query canceled")
-	// ErrBudgetExceeded is the common ancestor of all budget errors.
-	ErrBudgetExceeded = errors.New("query budget exceeded")
-	// ErrRowBudget reports that the query produced more result rows
-	// than its row budget allows.
-	ErrRowBudget = fmt.Errorf("row limit: %w", ErrBudgetExceeded)
-	// ErrMemoryBudget reports that hash builds / sort buffers exceeded
-	// the per-query memory budget.
-	ErrMemoryBudget = fmt.Errorf("memory limit: %w", ErrBudgetExceeded)
-)
+// The typed lifecycle errors (ErrQueryTimeout, ErrCanceled, the budget
+// family, and the admission-layer families) live in errors.go.
 
 // PanicError wraps a recovered panic so it can travel the error path.
 // The engine boundary and every parallel worker convert panics from

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/value"
 )
@@ -52,9 +53,13 @@ func (r *Relation) IsKey(col string) bool {
 	return len(r.Key) == 1 && strings.EqualFold(r.Key[0], col)
 }
 
-// Catalog is the set of known relations. It is not safe for concurrent
-// mutation; the engine serializes DDL.
+// Catalog is the set of known relations. Lookups and mutations are safe
+// for concurrent use: under admission-controlled concurrency every query
+// defines (and drops) its own suffixed temporary tables while other
+// queries resolve names against the same catalog. Relation values are
+// immutable once defined — the lock guards only the name map.
 type Catalog struct {
+	mu        sync.RWMutex
 	relations map[string]*Relation
 }
 
@@ -71,6 +76,8 @@ func (c *Catalog) Define(r *Relation) error {
 		return fmt.Errorf("schema: relation must have a name")
 	}
 	key := strings.ToUpper(r.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.relations[key]; ok {
 		return fmt.Errorf("schema: relation %s already defined", r.Name)
 	}
@@ -99,17 +106,23 @@ func (c *Catalog) Define(r *Relation) error {
 
 // Drop removes a relation (used for temporary tables).
 func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.relations, strings.ToUpper(name))
 }
 
 // Lookup finds a relation by name, case-insensitively.
 func (c *Catalog) Lookup(name string) (*Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.relations[strings.ToUpper(name)]
 	return r, ok
 }
 
 // Names returns the defined relation names in sorted order.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.relations))
 	for _, r := range c.relations {
 		out = append(out, r.Name)

@@ -63,10 +63,11 @@ type FaultConfig struct {
 // FaultInjector decides, per storage operation, whether to inject a
 // fault. One injector may be shared by all goroutines of a query.
 type FaultInjector struct {
-	cfg   FaultConfig
-	mu    sync.Mutex // guards rng
-	rng   *rand.Rand
-	count atomic.Int64 // hard faults injected so far
+	cfg      FaultConfig
+	mu       sync.Mutex // guards rng
+	rng      *rand.Rand
+	count    atomic.Int64 // hard faults injected so far
+	inflight atomic.Int64 // storage ops currently inside the store
 }
 
 // NewFaultInjector creates a seeded injector.
@@ -76,6 +77,17 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 
 // Injected reports how many hard faults have fired.
 func (fi *FaultInjector) Injected() int64 { return fi.count.Load() }
+
+// begin/end bracket one storage operation (read or append, including any
+// injected latency sleep and fault panic unwind) so InFlight can observe
+// whether any goroutine is still inside the storage layer.
+func (fi *FaultInjector) begin() { fi.inflight.Add(1) }
+func (fi *FaultInjector) end()   { fi.inflight.Add(-1) }
+
+// InFlight reports how many storage operations are currently executing
+// under this injector. The drain test asserts it returns to zero after a
+// drain — no leaked goroutine is still touching storage.
+func (fi *FaultInjector) InFlight() int64 { return fi.inflight.Load() }
 
 // roll draws one uniform [0,1) sample.
 func (fi *FaultInjector) roll() float64 {
@@ -157,15 +169,17 @@ func (s *Store) injector() *FaultInjector {
 	return nil
 }
 
-// TempCount reports how many temp files ($tmpN) currently exist — the
-// chaos harness asserts this returns to zero after every run, faulted
-// or not, so failed materializations cannot leak intermediates.
+// TempCount reports how many temporary files currently exist — anonymous
+// materializations ($tmpN) and per-query namespaced temp tables
+// (TEMPn#qN). The chaos harness asserts this returns to zero after every
+// run, faulted or not, so failed materializations cannot leak
+// intermediates.
 func (s *Store) TempCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for name := range s.files {
-		if strings.HasPrefix(name, "$tmp") {
+		if strings.HasPrefix(name, "$tmp") || strings.Contains(name, "#q") {
 			n++
 		}
 	}

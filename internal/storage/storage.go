@@ -112,6 +112,8 @@ func (f *HeapFile) TuplesPerPage() int { return f.tuplesPerPage }
 func (f *HeapFile) Append(t Tuple) {
 	var tear *FaultError
 	if inj := f.store.injector(); inj != nil {
+		inj.begin()
+		defer inj.end()
 		// Fault decisions (and latency sleeps) happen before taking the
 		// store mutex so a slow append does not stall unrelated I/O. A
 		// torn write stores a truncated tuple, then panics below.
@@ -155,6 +157,8 @@ func (f *HeapFile) Seal() {
 // miss. The returned slice must not be mutated.
 func (f *HeapFile) ReadPage(i int) []Tuple {
 	if inj := f.store.injector(); inj != nil {
+		inj.begin()
+		defer inj.end()
 		inj.onRead(f.name)
 	}
 	f.store.mu.Lock()
@@ -172,6 +176,8 @@ func (f *HeapFile) ReadPage(i int) []Tuple {
 // LRU caching.
 func (f *HeapFile) ReadPageDirect(i int) []Tuple {
 	if inj := f.store.injector(); inj != nil {
+		inj.begin()
+		defer inj.end()
 		inj.onRead(f.name)
 	}
 	f.store.mu.Lock()

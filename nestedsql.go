@@ -27,6 +27,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/qctx"
@@ -49,6 +50,13 @@ var (
 	ErrRowBudget = qctx.ErrRowBudget
 	// ErrMemoryBudget reports a query that buffered more than WithMemoryBudget.
 	ErrMemoryBudget = qctx.ErrMemoryBudget
+	// ErrOverloaded reports a query shed by the admission gateway (full
+	// queue, or a draining database — see WithAdmissionControl). The
+	// concrete error carries a retry-after hint.
+	ErrOverloaded = qctx.ErrOverloaded
+	// ErrCircuitOpen reports a query that demanded a parallel plan while
+	// the parallel path is circuit-broken after repeated worker faults.
+	ErrCircuitOpen = qctx.ErrCircuitOpen
 )
 
 // Type is a column type.
@@ -133,6 +141,7 @@ type Option func(*config)
 
 type config struct {
 	bufferPages int
+	admission   *AdmissionConfig
 }
 
 // WithBufferPages sets the buffer pool size in pages — the paper's B.
@@ -141,13 +150,80 @@ func WithBufferPages(n int) Option {
 	return func(c *config) { c.bufferPages = n }
 }
 
+// AdmissionConfig sizes the concurrency gateway; see WithAdmissionControl.
+// Zero fields pick the gateway's defaults (unlimited concurrency, no
+// queue, no memory pool).
+type AdmissionConfig struct {
+	// MaxConcurrent bounds how many queries run at once; 0 = unlimited.
+	MaxConcurrent int
+	// QueueDepth bounds how many queries may wait behind the running
+	// ones. The wait counts against each query's WithTimeout; arrivals
+	// beyond the depth fail immediately with ErrOverloaded.
+	QueueDepth int
+	// MemPool is a global memory budget (bytes) leased out per query:
+	// concurrent queries share it and are degraded or queued rather than
+	// ever overcommitting it. 0 disables pooling.
+	MemPool int64
+	// RetryMax bounds automatic retries of transiently-failed queries
+	// (injected storage faults); 0 disables.
+	RetryMax int
+}
+
+// WithAdmissionControl turns on the concurrency gateway: every Query
+// first acquires an admission slot (bounded concurrency, bounded FIFO
+// queue, memory-pool lease), overload is shed with ErrOverloaded, and
+// repeated parallel-worker faults trip a circuit breaker that degrades
+// parallel plans to sequential for a cooldown. Required before serving
+// concurrent traffic with bounded resources; single-caller use works
+// without it.
+func WithAdmissionControl(cfg AdmissionConfig) Option {
+	return func(c *config) { c.admission = &cfg }
+}
+
 // Open creates an empty in-memory database.
 func Open(opts ...Option) *DB {
 	cfg := config{bufferPages: 32}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{eng: engine.New(cfg.bufferPages)}
+	db := &DB{eng: engine.New(cfg.bufferPages)}
+	if cfg.admission != nil {
+		db.eng.EnableAdmission(admission.Config{
+			MaxConcurrent: cfg.admission.MaxConcurrent,
+			QueueDepth:    cfg.admission.QueueDepth,
+			PoolBytes:     cfg.admission.MemPool,
+			RetryMax:      cfg.admission.RetryMax,
+		})
+	}
+	return db
+}
+
+// AdmissionStats is a snapshot of the gateway's counters: queries
+// running, queued, admitted, shed; memory-pool usage and peak; transient
+// retries; and the parallel circuit breaker's state.
+type AdmissionStats = admission.Stats
+
+// AdmissionStats snapshots the gateway counters. The zero value is
+// returned when WithAdmissionControl was not used.
+func (db *DB) AdmissionStats() AdmissionStats {
+	if c := db.eng.Admission(); c != nil {
+		return c.Stats()
+	}
+	return AdmissionStats{}
+}
+
+// Drain gracefully stops query traffic: new queries are shed with
+// ErrOverloaded, in-flight queries get until the deadline to finish, and
+// stragglers are then canceled with ErrCanceled. After a drain the
+// database still answers nothing until Resume. A no-op without
+// WithAdmissionControl.
+func (db *DB) Drain(timeout time.Duration) error { return db.eng.Drain(timeout) }
+
+// Resume re-opens admission after a Drain.
+func (db *DB) Resume() {
+	if c := db.eng.Admission(); c != nil {
+		c.Resume()
+	}
 }
 
 // CreateTable defines a table. tuplesPerPage controls the stored page

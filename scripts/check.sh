@@ -25,4 +25,9 @@ go test -run '^$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 echo "==> go test -race -short -run TestChaosFaultInjection ./internal/engine"
 go test -race -short -count=1 -run TestChaosFaultInjection ./internal/engine
 
+# Short storm pass: the multi-client admission storm plus the mid-storm
+# drain check (the full-length storm is `make storm`).
+echo "==> go test -race -short -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine"
+go test -race -short -count=1 -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
+
 echo "==> all checks passed"
