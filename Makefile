@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm bench
+.PHONY: check vet build test race fuzz chaos storm serve-smoke bench
 
-check: vet build race fuzz chaos storm
+check: vet build race fuzz chaos storm serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,7 @@ race:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 
 # The seeded fault-injection suite: the generated-query corpus executed
 # against a fault-injecting store (read errors, latency, torn temp
@@ -38,6 +39,13 @@ chaos:
 # pool must never overcommit, and nothing may leak.
 storm:
 	$(GO) test -race -count=1 -v -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
+
+# End-to-end serving gate: boots nestedsqld on a random port, streams
+# the paper workload through the Go client from 8 concurrent
+# connections, diffs every result against the in-process sequential
+# oracle, and SIGTERMs the server (idle and mid-run) expecting exit 0.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchmem .

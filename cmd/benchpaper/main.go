@@ -54,7 +54,17 @@ func main() {
 	flag.IntVar(&admitMaxConcurrent, "max-concurrent", 0, "admission: max concurrent queries per experiment database (0 = no gateway)")
 	flag.IntVar(&admitQueueDepth, "queue-depth", 0, "admission: queries allowed to wait behind the running ones")
 	flag.Int64Var(&admitMemPool, "mem-pool", 0, "admission: global memory pool in bytes (0 = none)")
+	flag.BoolVar(&serveLoadFlag, "serve-load", false, "run the network load harness instead of an experiment (see serveload.go)")
+	flag.StringVar(&serveAddr, "serve-addr", "", "serve-load: address of a running nestedsqld -fixture both (empty = in-process server)")
+	flag.IntVar(&serveConns, "connections", 8, "serve-load: concurrent client connections")
+	flag.IntVar(&serveRounds, "rounds", 3, "serve-load: rounds of the query mix per connection")
 	flag.Parse()
+
+	if serveLoadFlag {
+		banner("Network load harness — streamed results vs the sequential oracle")
+		expServeLoad()
+		return
+	}
 
 	if *exp == "all" {
 		for _, e := range experiments {

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	nestedsql "repro"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/qctx"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// The serve-load harness: N concurrent client connections drive the
+// paper workload through a nestedsqld server and cross-check every
+// streamed result, byte for byte, against an in-process sequential
+// oracle. Overload sheds are retried after the server's hint; any
+// result mismatch or unexpected error fails the run.
+//
+//	benchpaper -serve-load                        # in-process server
+//	benchpaper -serve-load -serve-addr HOST:PORT  # external nestedsqld
+//	  (the external server must be started with -fixture both)
+
+var (
+	serveLoadFlag bool
+	serveAddr     string
+	serveConns    int
+	serveRounds   int
+)
+
+// loadQuery is one workload entry: the SQL, the strategy byte the
+// client requests, and the engine strategy the oracle mirrors.
+type loadQuery struct {
+	name      string
+	sql       string
+	wireStrat byte
+	engStrat  engine.Strategy
+}
+
+// loadWorkload is the paper mix over the Kiessling PARTS/SUPPLY and the
+// introduction's S/P/SP databases (disjoint names, one catalog). The
+// flagship COUNT query runs under both evaluation strategies so the
+// harness exercises nested iteration and NEST-JA2 streaming side by
+// side; everything runs sequentially (parallelism 0) so results are
+// order-deterministic and the byte comparison is exact.
+var loadWorkload = []loadQuery{
+	{"countbug-ja2", `SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+		WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"countbug-ni", `SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+		WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < 1-1-80)`,
+		wire.StrategyNested, engine.NestedIteration},
+	{"exists", `SELECT PNUM FROM PARTS
+		WHERE EXISTS (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"not-exists", `SELECT PNUM FROM PARTS
+		WHERE NOT EXISTS (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"lt-any", `SELECT PNUM FROM PARTS
+		WHERE QOH < ANY (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"gt-all", `SELECT PNUM FROM PARTS
+		WHERE QOH > ALL (SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"division-ja2", `SELECT SNAME FROM S
+		WHERE STATUS < (SELECT MAX(QTY) FROM SP
+			WHERE PNO IN (SELECT PNO FROM P WHERE P.CITY = S.CITY))`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"division-ni", `SELECT SNAME FROM S
+		WHERE STATUS < (SELECT MAX(QTY) FROM SP
+			WHERE PNO IN (SELECT PNO FROM P WHERE P.CITY = S.CITY))`,
+		wire.StrategyNested, engine.NestedIteration},
+	{"in-simple", `SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP WHERE QTY > 200)`,
+		wire.StrategyTransform, engine.TransformJA2},
+	{"empty", `SELECT PNUM FROM PARTS WHERE QOH = (SELECT COUNT(QUAN) FROM SUPPLY
+		WHERE SUPPLY.PNUM = PARTS.PNUM AND QUAN > 100000)`,
+		wire.StrategyTransform, engine.TransformJA2},
+}
+
+// loadDB builds the combined paper database the harness (and an
+// in-process server) runs against; nestedsqld -fixture both is the
+// external equivalent.
+func loadDB() *nestedsql.DB {
+	db := nestedsql.Open(
+		nestedsql.WithBufferPages(32),
+		nestedsql.WithAdmissionControl(nestedsql.AdmissionConfig{
+			MaxConcurrent: admitMaxConcurrent,
+			QueueDepth:    admitQueueDepth,
+			MemPool:       admitMemPool,
+		}),
+	)
+	if err := db.LoadFixture(nestedsql.FixtureKiessling); err != nil {
+		panic(err)
+	}
+	if err := db.LoadFixture(nestedsql.FixtureSuppliers); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// canonical renders a result as the wire's own value encoding, so
+// "byte-identical" means exactly that: the comparison covers column
+// names, row order, and every value byte.
+func canonical(cols []string, rows []storage.Tuple) []byte {
+	return wire.EncodeRowBatch(wire.RowBatch{Columns: cols, Rows: rows})
+}
+
+// expServeLoad runs the load harness. It exits the process non-zero on
+// any mismatch or unexpected error, so scripts can gate on it.
+func expServeLoad() {
+	// The oracle: the same database, queried in process, sequentially.
+	oracle := nestedsql.Open(nestedsql.WithBufferPages(32))
+	if err := oracle.LoadFixture(nestedsql.FixtureKiessling); err != nil {
+		fatal(err)
+	}
+	if err := oracle.LoadFixture(nestedsql.FixtureSuppliers); err != nil {
+		fatal(err)
+	}
+	expected := make([][]byte, len(loadWorkload))
+	for i, q := range loadWorkload {
+		res, err := oracle.Internal().Query(q.sql, engine.Options{Strategy: q.engStrat})
+		if err != nil {
+			fatal(fmt.Errorf("oracle %s: %w", q.name, err))
+		}
+		expected[i] = canonical(res.Columns, res.Rows)
+	}
+
+	addr := serveAddr
+	var srvDB *nestedsql.DB
+	if addr == "" {
+		// No external server: boot one in process on a random port.
+		srvDB = loadDB()
+		srv := server.New(srvDB.Internal(), server.Config{Strategy: engine.TransformJA2})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(lis)
+		defer srv.Shutdown(10 * time.Second)
+		addr = lis.Addr().String()
+		fmt.Printf("serve-load: in-process server on %s\n", addr)
+	}
+
+	fmt.Printf("serve-load: %d connections x %d rounds x %d queries against %s\n",
+		serveConns, serveRounds, len(loadWorkload), addr)
+
+	results := make([]outcome, serveConns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := range serveConns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := &results[w]
+			conn, err := client.Dial(addr, 10*time.Second)
+			if err != nil {
+				out.failures = append(out.failures, fmt.Sprintf("dial: %v", err))
+				return
+			}
+			defer conn.Close()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for range serveRounds {
+				order := rng.Perm(len(loadWorkload))
+				for _, qi := range order {
+					q := loadWorkload[qi]
+					if !runOne(conn, q, expected[qi], out) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var done, sheds int
+	var lats []time.Duration
+	bad := false
+	for w, out := range results {
+		done += out.done
+		sheds += out.sheds
+		lats = append(lats, out.latencies...)
+		for _, m := range out.mismatches {
+			fmt.Printf("serve-load: MISMATCH conn %d: %s\n", w, m)
+			bad = true
+		}
+		for _, f := range out.failures {
+			fmt.Printf("serve-load: FAILURE conn %d: %s\n", w, f)
+			bad = true
+		}
+	}
+	want := serveConns * serveRounds * len(loadWorkload)
+	if done != want {
+		fmt.Printf("serve-load: completed %d of %d queries\n", done, want)
+		bad = true
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("serve-load: %d queries OK, %d overload sheds retried, %.1fs wall\n",
+		done, sheds, elapsed.Seconds())
+	if len(lats) > 0 {
+		fmt.Printf("serve-load: throughput %.0f q/s, latency p50 %s p99 %s\n",
+			float64(done)/elapsed.Seconds(),
+			lats[len(lats)*50/100].Round(time.Microsecond),
+			lats[len(lats)*99/100].Round(time.Microsecond))
+	}
+	if bad {
+		os.Exit(1)
+	}
+	if srvDB != nil {
+		st := srvDB.AdmissionStats()
+		fmt.Printf("serve-load: admission admitted=%d shed=%d degraded=%d\n",
+			st.Admitted, st.Shed, st.Degraded)
+	}
+	fmt.Println("serve-load: all streamed results byte-identical to the sequential oracle")
+}
+
+// outcome accumulates one connection's results.
+type outcome struct {
+	done       int
+	mismatches []string
+	failures   []string
+	sheds      int
+	latencies  []time.Duration
+}
+
+// runOne executes one workload query with overload retries, recording
+// the outcome. It reports false when the connection is unusable.
+func runOne(conn *client.Conn, q loadQuery, want []byte, out *outcome) bool {
+	const maxAttempts = 200
+	for attempt := 1; ; attempt++ {
+		t0 := time.Now()
+		res, err := conn.Collect(q.sql, client.Options{Strategy: q.wireStrat})
+		if err != nil {
+			var ov *qctx.OverloadError
+			if errors.As(err, &ov) && attempt < maxAttempts {
+				// The server said when to come back; believe it.
+				out.sheds++
+				pause := ov.RetryAfter
+				if pause <= 0 {
+					pause = time.Millisecond
+				}
+				time.Sleep(pause)
+				continue
+			}
+			out.failures = append(out.failures, fmt.Sprintf("%s: %v", q.name, err))
+			return false
+		}
+		out.latencies = append(out.latencies, time.Since(t0))
+		if got := canonical(res.Columns, res.Rows); string(got) != string(want) {
+			out.mismatches = append(out.mismatches,
+				fmt.Sprintf("%s: %d result bytes != oracle's %d", q.name, len(got), len(want)))
+		}
+		out.done++
+		return true
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve-load:", err)
+	os.Exit(1)
+}

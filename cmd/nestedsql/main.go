@@ -229,6 +229,13 @@ func printResult(res *nestedsql.Result) {
 }
 
 func fail(err error) {
+	// An admission shed is transient by definition: say when to come
+	// back (the gateway's own hint) and exit with EX_TEMPFAIL so scripts
+	// can distinguish "try again" from "broken query".
+	if d, ok := nestedsql.RetryAfter(err); ok {
+		fmt.Fprintf(os.Stderr, "nestedsql: %v — overloaded, retry in %s\n", err, d)
+		os.Exit(75)
+	}
 	fmt.Fprintln(os.Stderr, "nestedsql:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,127 @@
+// Command nestedsqld serves one of the paper's example databases over
+// the nestedsql wire protocol (see internal/wire). Clients connect with
+// internal/client (or cmd/benchpaper's -serve-load harness), stream
+// results batch by batch, and receive typed Error frames — an admission
+// shed arrives with its retry-after hint intact.
+//
+//	nestedsqld -addr 127.0.0.1:4045 -fixture both -max-concurrent 8
+//
+// The daemon always runs with the admission gateway enabled (the flag
+// defaults impose no concurrency bound, but the gateway is what makes
+// SIGTERM drain instead of drop): on SIGTERM or SIGINT it stops
+// accepting connections, lets in-flight queries finish streaming for up
+// to -drain-timeout, then closes every connection and exits 0.
+//
+// It prints "listening on ADDR" to stderr once the socket is open, so
+// scripts using -addr 127.0.0.1:0 can discover the port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	nestedsql "repro"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+var strategies = map[string]engine.Strategy{
+	"ni":  engine.NestedIteration,
+	"ja2": engine.TransformJA2,
+	"kim": engine.TransformKim,
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4045", "listen address (port 0 picks a free port)")
+	fixture := flag.String("fixture", "both", "dataset: kiessling | suppliers | both | none")
+	strategy := flag.String("strategy", "ja2", "default strategy for StrategyDefault queries: ni | ja2 | kim")
+	buffer := flag.Int("buffer", 32, "buffer pool size in pages (the paper's B)")
+	parallel := flag.Int("parallel", 0, "default planner parallelism (clients may override per query)")
+	batchRows := flag.Int("batch-rows", 0, "rows per RowBatch frame (0 = 64)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on per-query deadlines; also applied to clients that send none (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "cap on per-query row budgets; also applied to clients that send none (0 = none)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission: max concurrent queries (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission: queries allowed to wait behind the running ones; beyond that, shed")
+	memPool := flag.Int64("mem-pool", 0, "admission: global memory pool (bytes) leased out per query (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries may finish on shutdown")
+	flag.Parse()
+
+	strat, ok := strategies[*strategy]
+	if !ok {
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	// Admission is always on: it is the drain mechanism behind graceful
+	// shutdown. Zero flags just mean no concurrency bound.
+	db := nestedsql.Open(
+		nestedsql.WithBufferPages(*buffer),
+		nestedsql.WithAdmissionControl(nestedsql.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent,
+			QueueDepth:    *queueDepth,
+			MemPool:       *memPool,
+		}),
+	)
+	switch *fixture {
+	case "kiessling":
+		mustLoad(db, nestedsql.FixtureKiessling)
+	case "suppliers":
+		mustLoad(db, nestedsql.FixtureSuppliers)
+	case "both":
+		// Disjoint table names (PARTS/SUPPLY vs S/P/SP), so both paper
+		// databases fit in one catalog.
+		mustLoad(db, nestedsql.FixtureKiessling)
+		mustLoad(db, nestedsql.FixtureSuppliers)
+	case "none":
+	default:
+		fail(fmt.Errorf("unknown fixture %q", *fixture))
+	}
+
+	srv := server.New(db.Internal(), server.Config{
+		BatchRows:   *batchRows,
+		MaxTimeout:  *maxTimeout,
+		MaxRows:     *maxRows,
+		Strategy:    strat,
+		Parallelism: *parallel,
+	})
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "nestedsqld: listening on %s\n", lis.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "nestedsqld: %v; draining (up to %s)\n", sig, *drainTimeout)
+		shutdownErr <- srv.Shutdown(*drainTimeout)
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		fail(err)
+	}
+	// Serve returned nil, so a signal triggered Shutdown; report how the
+	// drain went but exit 0 either way — stragglers were canceled, not
+	// leaked.
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintf(os.Stderr, "nestedsqld: drain: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "nestedsqld: bye")
+}
+
+func mustLoad(db *nestedsql.DB, f nestedsql.Fixture) {
+	if err := db.LoadFixture(f); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nestedsqld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,272 @@
+// Package client is the Go client for the nestedsql wire protocol: it
+// dials a nestedsqld server, runs queries, and streams result rows as
+// the server produces them. Server-side failures surface as
+// *wire.RemoteError, which unwraps into the same qctx taxonomy a local
+// engine returns — errors.Is(err, nestedsql.ErrOverloaded) and
+// errors.As(err, &*qctx.OverloadError) work unchanged, retry-after
+// hint included.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Conn is one client connection. It is not safe for concurrent use; a
+// connection runs one query stream at a time, and the previous Stream
+// must be exhausted or closed before the next Query.
+type Conn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	active *Stream
+	err    error // sticky transport/protocol failure; poisons the conn
+}
+
+// Dial connects and performs the version handshake.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if timeout > 0 {
+		nc.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := c.handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+func (c *Conn) handshake() error {
+	if err := wire.WriteFrame(c.bw, wire.FrameHello, wire.EncodeHello(wire.Hello{Version: wire.Version})); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case wire.FrameHello:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if h.Version != wire.Version {
+			return fmt.Errorf("client: server speaks version %d, want %d", h.Version, wire.Version)
+		}
+		return nil
+	case wire.FrameError:
+		f, err := wire.DecodeError(payload)
+		if err != nil {
+			return err
+		}
+		return &wire.RemoteError{Frame: f}
+	default:
+		return fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
+	}
+}
+
+// Close closes the connection. Any active stream becomes unusable.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Options are the per-query knobs carried in the Query frame. Zero
+// values defer to the server's configuration.
+type Options struct {
+	Timeout     time.Duration
+	MaxRows     int64
+	Strategy    byte // a wire.Strategy* constant
+	Parallelism int
+}
+
+// Query sends one SQL statement and returns the result stream. The
+// stream must be drained (Next until false) or Closed before the next
+// Query on this connection.
+func (c *Conn) Query(sql string, opts Options) (*Stream, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.active != nil {
+		return nil, errors.New("client: previous stream not closed")
+	}
+	q := wire.Query{
+		TimeoutMicros: opts.Timeout.Microseconds(),
+		MaxRows:       opts.MaxRows,
+		Strategy:      opts.Strategy,
+		Parallelism:   int64(opts.Parallelism),
+		SQL:           sql,
+	}
+	if err := wire.WriteFrame(c.bw, wire.FrameQuery, wire.EncodeQuery(q)); err != nil {
+		return nil, c.poison(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.poison(err)
+	}
+	st := &Stream{conn: c}
+	c.active = st
+	return st, nil
+}
+
+func (c *Conn) poison(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// Stream iterates a query's result. Usage:
+//
+//	st, err := conn.Query(sql, opts)
+//	for st.Next() {
+//		use(st.Row())
+//	}
+//	err = st.Err()
+//
+// Row slices are reused between Next calls; copy what you keep.
+type Stream struct {
+	conn     *Conn
+	cols     []string
+	batch    []storage.Tuple
+	idx      int
+	row      storage.Tuple
+	done     bool
+	doneInfo wire.Done
+	err      error
+}
+
+// Next advances to the next row, fetching frames as needed. It returns
+// false at end of stream or on error; check Err afterwards.
+func (s *Stream) Next() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	for s.idx >= len(s.batch) {
+		if !s.fetch() {
+			return false
+		}
+	}
+	s.row = s.batch[s.idx]
+	s.idx++
+	return true
+}
+
+// fetch reads the next frame, refilling the batch. Returns false when
+// the stream ended (Done, Error, or transport failure).
+func (s *Stream) fetch() bool {
+	typ, payload, err := wire.ReadFrame(s.conn.br)
+	if err != nil {
+		s.fail(s.conn.poison(fmt.Errorf("client: read: %w", err)))
+		return false
+	}
+	switch typ {
+	case wire.FrameRowBatch:
+		b, err := wire.DecodeRowBatch(payload)
+		if err != nil {
+			s.fail(s.conn.poison(err))
+			return false
+		}
+		if s.cols == nil {
+			s.cols = b.Columns
+		}
+		s.batch, s.idx = b.Rows, 0
+		return true
+	case wire.FrameDone:
+		d, err := wire.DecodeDone(payload)
+		if err != nil {
+			s.fail(s.conn.poison(err))
+			return false
+		}
+		s.doneInfo = d
+		s.finish()
+		return false
+	case wire.FrameError:
+		f, err := wire.DecodeError(payload)
+		if err != nil {
+			s.fail(s.conn.poison(err))
+			return false
+		}
+		s.fail(&wire.RemoteError{Frame: f})
+		s.finish()
+		return false
+	default:
+		s.fail(s.conn.poison(fmt.Errorf("client: unexpected frame 0x%02x", typ)))
+		return false
+	}
+}
+
+func (s *Stream) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// finish detaches the stream from the connection: the response is
+// complete and the conn may run its next query.
+func (s *Stream) finish() {
+	s.done = true
+	if s.conn.active == s {
+		s.conn.active = nil
+	}
+}
+
+// Row returns the current row after a true Next.
+func (s *Stream) Row() storage.Tuple { return s.row }
+
+// Columns returns the column names, available after the first Next (or
+// after Next returned false for an empty result).
+func (s *Stream) Columns() []string { return s.cols }
+
+// Err returns the stream's terminal error: nil on a clean Done, a
+// *wire.RemoteError for a server-side failure, or a transport error.
+func (s *Stream) Err() error { return s.err }
+
+// Stats returns the Done frame's summary; valid once Next has returned
+// false with a nil Err.
+func (s *Stream) Stats() wire.Done { return s.doneInfo }
+
+// Close drains any unread frames so the connection is ready for the
+// next query. It returns the stream's error, if any.
+func (s *Stream) Close() error {
+	for !s.done && s.err == nil {
+		s.fetch()
+	}
+	return s.err
+}
+
+// Result is a fully materialized query result, for callers that do not
+// need streaming.
+type Result struct {
+	Columns []string
+	Rows    []storage.Tuple
+	Done    wire.Done
+}
+
+// Collect runs a query and materializes the whole result.
+func (c *Conn) Collect(sql string, opts Options) (*Result, error) {
+	st, err := c.Query(sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for st.Next() {
+		res.Rows = append(res.Rows, append(storage.Tuple(nil), st.Row()...))
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	res.Columns = st.Columns()
+	res.Done = st.Stats()
+	return res, nil
+}

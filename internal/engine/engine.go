@@ -228,6 +228,12 @@ type Options struct {
 	// soon as the channel is closed (e.g. Ctrl-C in the REPL).
 	Cancel <-chan struct{}
 
+	// Sink, when non-nil, streams the result instead of materializing it:
+	// see RowSink. The network server uses it so a slow client throttles
+	// the executor rather than buffering the whole result. Incompatible
+	// with VerifyParallel (the oracle needs materialized rows to compare).
+	Sink *RowSink
+
 	// noAdmission bypasses the admission gateway. Internal: the
 	// differential-oracle re-runs inside an already-admitted query use it,
 	// both to avoid deadlocking against their own ticket and to keep
@@ -236,6 +242,9 @@ type Options struct {
 	// ticket is the admission grant governing this query, when the
 	// gateway is enabled.
 	ticket *admission.Ticket
+	// stream wraps Sink for one execution, tracking whether rows have
+	// already escaped (which fences the engine's re-run retries).
+	stream *streamState
 }
 
 // governed reports whether the query needs a lifecycle context: any
@@ -287,6 +296,12 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 
 // run executes one already-admitted (or ungoverned) statement.
 func (db *DB) run(sql string, opts Options) (*Result, error) {
+	if opts.Sink != nil {
+		if opts.VerifyParallel {
+			return nil, fmt.Errorf("engine: streaming sink is incompatible with VerifyParallel")
+		}
+		opts.stream = &streamState{sink: opts.Sink}
+	}
 	qb, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -298,6 +313,13 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 	res := &Result{Strategy: opts.Strategy, Profile: classify.Profile(qb)}
 	for _, c := range out {
 		res.Columns = append(res.Columns, c.Name)
+	}
+	if opts.stream != nil {
+		// The header goes out before execution so even an empty (or
+		// failing) result stream has told the client its shape.
+		if err := opts.stream.columns(res.Columns); err != nil {
+			return nil, err
+		}
 	}
 
 	// Lifecycle context: nil (all no-ops) unless a limit is configured.
@@ -345,7 +367,7 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 		res.Rows, res.FellBack = nil, false
 		switch opts.Strategy {
 		case NestedIteration:
-			err = db.runNested(qb, qc, res)
+			err = db.runNested(qb, qc, opts.stream, res)
 		case TransformJA2, TransformKim:
 			variant := transform.JA2
 			if opts.Strategy == TransformKim {
@@ -358,8 +380,10 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 		// Transient-fault retry: only injected storage faults qualify
 		// (qctx.Retryable), only under admission control, with capped
 		// exponential backoff + jitter. The deadline keeps ticking
-		// through the backoff sleep.
-		if err == nil || db.admit == nil || opts.noAdmission || !qctx.Retryable(err) {
+		// through the backoff sleep. A streaming query that has already
+		// delivered rows is never re-run — the client would see them twice.
+		if err == nil || db.admit == nil || opts.noAdmission || !qctx.Retryable(err) ||
+			opts.stream.hasEmitted() {
 			break
 		}
 		delay, ok := db.admit.RetryDelay(attempt)
@@ -410,7 +434,7 @@ func contain(fn func() error) (err error) {
 	return fn()
 }
 
-func (db *DB) runNested(qb *ast.QueryBlock, qc *qctx.QueryContext, res *Result) error {
+func (db *DB) runNested(qb *ast.QueryBlock, qc *qctx.QueryContext, stream *streamState, res *Result) error {
 	ev := exec.NewEvaluator(db.cat, db.store)
 	ev.QC = qc
 	defer ev.Close()
@@ -423,7 +447,16 @@ func (db *DB) runNested(qb *ast.QueryBlock, qc *qctx.QueryContext, res *Result) 
 	if err != nil {
 		return err
 	}
-	res.Rows = rows
+	if stream != nil {
+		// Nested iteration computes its result before any row can leave;
+		// the stream still sees uniform batches (no backpressure gain on
+		// this path — transformed plans are the streaming fast path).
+		if err := stream.emitSlice(rows); err != nil {
+			return err
+		}
+	} else {
+		res.Rows = rows
+	}
 	res.Trace = append(res.Trace, "evaluated by nested iteration")
 	return nil
 }
@@ -433,7 +466,7 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 	if errors.Is(err, transform.ErrNotTransformable) && !opts.NoFallback {
 		res.FellBack = true
 		res.Trace = append(res.Trace, fmt.Sprintf("fallback to nested iteration: %v", err))
-		return db.runNested(qb, qc, res)
+		return db.runNested(qb, qc, opts.stream, res)
 	}
 	if err != nil {
 		return err
@@ -449,6 +482,10 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		popts.Indexes = db.indexes
 	}
 	popts.QC = qc
+	if opts.stream != nil {
+		popts.Sink = opts.stream.batch
+		popts.SinkBatchRows = opts.Sink.BatchRows
+	}
 	if popts.TempSuffix == "" {
 		// Namespace this query's TEMPn materializations in the shared
 		// store and catalog so concurrent queries cannot collide.
@@ -491,7 +528,7 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		}
 	}
 	parallel := popts.Parallelism > 1 || popts.Parallelism < 0
-	if err != nil && parallel && retrySequentially(err) {
+	if err != nil && parallel && retrySequentially(err) && !opts.stream.hasEmitted() {
 		// Graceful degradation: a parallel plan that lost a worker to a
 		// fault, or blew the memory budget partitioning its build side,
 		// is retried sequentially once. Budget counters reset; the

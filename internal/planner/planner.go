@@ -89,6 +89,13 @@ type Options struct {
 	// collide. Plan notes and EXPLAIN keep the logical names. Empty means
 	// no namespacing (single-query tools, paper experiments).
 	TempSuffix string
+	// Sink, when set, streams the final query's rows in batches of
+	// SinkBatchRows instead of materializing them: Run returns nil rows
+	// and the sink's blocking becomes executor backpressure. Temporary
+	// tables are still materialized — only the final pipeline streams.
+	Sink exec.BatchSink
+	// SinkBatchRows sizes Sink batches (0 = exec.DefaultBatchRows).
+	SinkBatchRows int
 }
 
 // workers resolves the Parallelism option to a worker count; values <= 1
@@ -166,6 +173,12 @@ func (p *Planner) Run(res *transform.Result) (rows []storage.Tuple, sch exec.Row
 		return nil, nil, err
 	}
 	p.notef("final plan:\n%s", exec.Describe(final.op))
+	if p.opts.Sink != nil {
+		if _, err := exec.DrainInto(final.op, p.opts.QC, p.opts.SinkBatchRows, p.opts.Sink); err != nil {
+			return nil, nil, err
+		}
+		return nil, final.op.Schema(), nil
+	}
 	rows, err = exec.DrainBudget(final.op, p.opts.QC)
 	if err != nil {
 		return nil, nil, err

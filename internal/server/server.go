@@ -1,0 +1,192 @@
+// Package server hosts an engine.DB behind the wire protocol: a TCP
+// listener accepting length-prefixed binary frames (see internal/wire),
+// one session per connection, streamed row batches with real executor
+// backpressure, and a graceful shutdown that drains in-flight queries
+// through the admission layer before closing connections.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Config tunes a Server. The zero value is usable: engine defaults for
+// strategy and parallelism, 64-row batches, a 32 KiB write buffer, and
+// no caps on client-requested deadlines or row budgets.
+type Config struct {
+	// BatchRows bounds rows per RowBatch frame (0 = exec default of 64).
+	BatchRows int
+	// WriteBufferBytes sizes the per-connection buffered writer. The
+	// buffer plus the kernel socket buffer is all the result data the
+	// server will hold for a slow client; past that, the executor's pull
+	// loop blocks on the flush. 0 = 32 KiB.
+	WriteBufferBytes int
+	// MaxTimeout caps (and, when the client sends none, supplies) the
+	// per-query deadline. 0 = accept the client's value unchanged.
+	MaxTimeout time.Duration
+	// MaxRows caps (and defaults) the per-query row budget. 0 = accept
+	// the client's value unchanged.
+	MaxRows int64
+	// Strategy answers wire.StrategyDefault. The zero value is the
+	// engine's NestedIteration; nestedsqld overrides it to TransformJA2.
+	Strategy engine.Strategy
+	// Parallelism is the planner parallelism for queries that do not ask
+	// for their own.
+	Parallelism int
+	// HandshakeTimeout bounds how long a fresh connection may dawdle
+	// before its Hello arrives (0 = 5s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each frame write (0 = 30s). A client that
+	// stops reading stalls the query through backpressure first; this is
+	// the backstop that eventually frees the session.
+	WriteTimeout time.Duration
+}
+
+func (c Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.HandshakeTimeout
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c Config) writeBuffer() int {
+	if c.WriteBufferBytes <= 0 {
+		return 32 << 10
+	}
+	return c.WriteBufferBytes
+}
+
+// Server owns a listener and its sessions. Create with New, run with
+// Serve (or ListenAndServe), stop with Shutdown.
+type Server struct {
+	db  *engine.DB
+	cfg Config
+
+	mu       sync.Mutex
+	lis      net.Listener
+	sessions map[*session]struct{}
+	closing  bool
+
+	wg sync.WaitGroup // live session goroutines
+}
+
+// New builds a Server around an opened engine. Enable admission on the
+// DB before serving if you want overload shedding and a draining
+// Shutdown; without it queries run ungated and Shutdown cuts
+// connections without waiting.
+func New(db *engine.DB, cfg Config) *Server {
+	return &Server{db: db, cfg: cfg, sessions: make(map[*session]struct{})}
+}
+
+// DB returns the engine this server fronts.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Addr returns the listener address once Serve has been called, for
+// tests and for logging "listening on" lines with a :0 port.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Shutdown closes it, spawning
+// one session per connection. It returns nil after a Shutdown, or the
+// accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: already shut down")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			sess.serve()
+		}()
+	}
+}
+
+// Shutdown stops the server gracefully: the listener closes (Serve
+// returns), the engine drains — in-flight queries get until timeout to
+// finish streaming, queued and new ones are shed — then every
+// connection is closed and Shutdown waits for the sessions to unwind.
+// It returns the drain error, if any (stragglers were canceled).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	// Drain while connections stay up, so finishing queries can still
+	// flush their Done frames to the client.
+	drainErr := s.db.Drain(timeout)
+
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return drainErr
+}
+
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// session is one connection's state. Frames are read by a dedicated
+// reader goroutine and handed over a channel, so a query in progress
+// learns about a client disconnect (the read loop dying) through the
+// dead channel — which is wired into the engine as the query's Cancel,
+// turning an abandoned connection into qctx.ErrCanceled instead of a
+// query that streams into a broken pipe until its row budget runs out.
+// All writes happen on the session goroutine; net.Conn allows the
+// concurrent Close from Shutdown.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	frames chan recvFrame
+	dead   chan struct{} // closed when the read loop exits (disconnect)
+	quit   chan struct{} // closed when the session goroutine exits
+}
+
+type recvFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// writeError wraps a frame-write failure so runQuery can tell "the
+// connection broke" (tear the session down) apart from "the query
+// failed" (report an Error frame and keep serving).
+type writeError struct{ err error }
+
+func (e *writeError) Error() string { return "server: write: " + e.err.Error() }
+func (e *writeError) Unwrap() error { return e.err }
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:    srv,
+		conn:   conn,
+		br:     bufio.NewReader(conn),
+		bw:     bufio.NewWriterSize(conn, srv.cfg.writeBuffer()),
+		frames: make(chan recvFrame),
+		dead:   make(chan struct{}),
+		quit:   make(chan struct{}),
+	}
+}
+
+// serve runs the session to completion: handshake, then one query at a
+// time off the frame channel. Responses are strictly sequential even if
+// the client pipelines — the reader goroutine simply blocks handing
+// over the next Query until the current one finishes.
+func (s *session) serve() {
+	defer s.srv.removeSession(s)
+	defer s.conn.Close()
+	defer close(s.quit)
+
+	if !s.handshake() {
+		return
+	}
+
+	go s.readLoop()
+
+	for {
+		f, ok := <-s.frames
+		if !ok {
+			return // client disconnected or sent garbage framing
+		}
+		if f.typ != wire.FrameQuery {
+			s.sendError(wire.ErrorFrame{
+				Code:    wire.CodeProtocol,
+				Message: fmt.Sprintf("unexpected frame type 0x%02x", f.typ),
+			})
+			return
+		}
+		q, err := wire.DecodeQuery(f.payload)
+		if err != nil {
+			s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
+			return
+		}
+		if !s.runQuery(q) {
+			return
+		}
+	}
+}
+
+// handshake validates the client Hello under a read deadline and
+// answers with the server's version. Protocol violations get an Error
+// frame (best effort) before the connection drops.
+func (s *session) handshake() bool {
+	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.handshakeTimeout()))
+	typ, payload, err := wire.ReadFrame(s.br)
+	if err != nil {
+		return false
+	}
+	if typ != wire.FrameHello {
+		s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: "expected hello"})
+		return false
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
+		return false
+	}
+	if h.Version != wire.Version {
+		s.sendError(wire.ErrorFrame{
+			Code:    wire.CodeProtocol,
+			Message: fmt.Sprintf("version %d unsupported (server speaks %d)", h.Version, wire.Version),
+		})
+		return false
+	}
+	s.conn.SetReadDeadline(time.Time{})
+	if err := s.writeFrame(wire.FrameHello, wire.EncodeHello(wire.Hello{Version: wire.Version})); err != nil {
+		return false
+	}
+	return s.flush() == nil
+}
+
+// readLoop pulls frames off the wire and hands them to the session
+// goroutine. Any read error — EOF, reset, malformed framing — closes
+// dead (canceling an in-flight query) and the frame channel (ending the
+// session loop). The select against quit keeps the goroutine from
+// leaking if the session exits while a frame is in hand.
+func (s *session) readLoop() {
+	for {
+		typ, payload, err := wire.ReadFrame(s.br)
+		if err != nil {
+			close(s.dead)
+			close(s.frames)
+			return
+		}
+		select {
+		case s.frames <- recvFrame{typ, payload}:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runQuery executes one Query frame, streaming RowBatch frames as the
+// executor produces them. It reports whether the session should keep
+// serving: query failures are answered with an Error frame and the
+// session survives; write failures mean the client is gone.
+func (s *session) runQuery(q wire.Query) bool {
+	opts, ferr := s.queryOptions(q)
+	if ferr != nil {
+		return s.sendError(*ferr)
+	}
+
+	var (
+		cols     []string
+		sent     int64
+		batchErr error // the sink's own write failure, distinct from query failure
+	)
+	opts.Sink = &engine.RowSink{
+		BatchRows: s.srv.cfg.BatchRows,
+		Columns: func(c []string) error {
+			cols = append([]string(nil), c...)
+			return nil
+		},
+		Batch: func(rows []storage.Tuple) error {
+			if err := s.writeRowBatch(cols, rows); err != nil {
+				batchErr = err
+				return &writeError{err}
+			}
+			sent += int64(len(rows))
+			return nil
+		},
+	}
+
+	res, err := s.srv.db.Query(q.SQL, opts)
+	if err != nil {
+		if batchErr != nil {
+			return false // the connection is broken; no point reporting
+		}
+		return s.sendError(wire.ErrorFrameFor(err))
+	}
+
+	// An empty result still announces its columns: one zero-row batch.
+	if sent == 0 {
+		if err := s.writeRowBatch(cols, nil); err != nil {
+			return false
+		}
+	}
+	done := wire.Done{
+		Rows:     sent,
+		Reads:    res.Stats.Reads,
+		Writes:   res.Stats.Writes,
+		FellBack: res.FellBack,
+	}
+	if err := s.writeFrame(wire.FrameDone, wire.EncodeDone(done)); err != nil {
+		return false
+	}
+	return s.flush() == nil
+}
+
+// queryOptions maps a Query frame onto engine options, applying the
+// server's caps. A bad strategy byte is a protocol error.
+func (s *session) queryOptions(q wire.Query) (engine.Options, *wire.ErrorFrame) {
+	cfg := s.srv.cfg
+	opts := engine.Options{Cancel: s.dead}
+
+	switch q.Strategy {
+	case wire.StrategyDefault:
+		opts.Strategy = cfg.Strategy
+	case wire.StrategyNested:
+		opts.Strategy = engine.NestedIteration
+	case wire.StrategyTransform:
+		opts.Strategy = engine.TransformJA2
+	case wire.StrategyKim:
+		opts.Strategy = engine.TransformKim
+	default:
+		return opts, &wire.ErrorFrame{
+			Code:    wire.CodeProtocol,
+			Message: fmt.Sprintf("unknown strategy %d", q.Strategy),
+		}
+	}
+
+	opts.Timeout = time.Duration(q.TimeoutMicros) * time.Microsecond
+	if opts.Timeout < 0 {
+		opts.Timeout = 0
+	}
+	if cfg.MaxTimeout > 0 && (opts.Timeout == 0 || opts.Timeout > cfg.MaxTimeout) {
+		opts.Timeout = cfg.MaxTimeout
+	}
+	opts.MaxRows = q.MaxRows
+	if opts.MaxRows < 0 {
+		opts.MaxRows = 0
+	}
+	if cfg.MaxRows > 0 && (opts.MaxRows == 0 || opts.MaxRows > cfg.MaxRows) {
+		opts.MaxRows = cfg.MaxRows
+	}
+
+	opts.Planner.Parallelism = cfg.Parallelism
+	if q.Parallelism > 0 {
+		opts.Planner.Parallelism = int(q.Parallelism)
+	}
+	return opts, nil
+}
+
+// writeRowBatch frames and flushes one batch. Flushing per batch keeps
+// the client's view current and makes the buffered writer the only
+// server-side buffering — when the socket is full, the flush blocks and
+// backpressure reaches the executor through the sink.
+func (s *session) writeRowBatch(cols []string, rows []storage.Tuple) error {
+	b := wire.RowBatch{Columns: cols, Rows: rows}
+	if err := s.writeFrame(wire.FrameRowBatch, wire.EncodeRowBatch(b)); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// sendError reports a query or protocol failure and keeps the session
+// alive if the write succeeded. Returns false when the client is gone.
+func (s *session) sendError(f wire.ErrorFrame) bool {
+	if err := s.writeFrame(wire.FrameError, wire.EncodeError(f)); err != nil {
+		return false
+	}
+	return s.flush() == nil
+}
+
+func (s *session) writeFrame(typ byte, payload []byte) error {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.writeTimeout()))
+	return wire.WriteFrame(s.bw, typ, payload)
+}
+
+func (s *session) flush() error {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.writeTimeout()))
+	return s.bw.Flush()
+}

@@ -1,0 +1,382 @@
+// Package wire defines the nestedsql network protocol: the length-prefixed
+// binary frames spoken between cmd/nestedsqld (internal/server) and the Go
+// client (internal/client).
+//
+// Every frame is
+//
+//	uint32 length (big endian) | byte type | payload
+//
+// where length counts the type byte plus the payload, so the smallest legal
+// frame is length 1. The conversation is a strict handshake followed by
+// request/response streams:
+//
+//	client → Hello      magic "NSQD" + version byte
+//	server → Hello      magic + the version it will speak
+//	client → Query      deadline, max-rows, strategy, parallelism, SQL
+//	server → RowBatch*  column names + rows (zero or more frames)
+//	server → Done       row count, page I/Os, fell-back flag
+//	   or  → Error      taxonomy code, retry-after hint, message
+//
+// A client may pipeline the next Query before Done arrives; responses are
+// strictly sequential. The per-request deadline and row budget ride in the
+// Query frame and are mapped onto the engine's qctx limits; typed failures
+// come back as Error frames whose code preserves the qctx/admission error
+// taxonomy (an overload shed keeps its retry-after hint across the wire).
+//
+// Decoding is defensive: frames are size-capped, every varint and length is
+// bounds-checked, and malformed input yields an error, never a panic — the
+// decoder is fuzzed (FuzzDecodeFrame) on that contract.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Version is the protocol version this package speaks. A server answers a
+// client Hello with its own version; a client must disconnect on mismatch.
+const Version = 1
+
+// Magic opens every Hello payload, so a stray connection from some other
+// protocol fails fast and explicitly.
+const Magic = "NSQD"
+
+// MaxFrame caps a frame's declared length (type byte + payload). Row
+// batches are produced well under this; a peer declaring more is broken or
+// hostile and the connection is dropped before allocating.
+const MaxFrame = 16 << 20
+
+// Frame types.
+const (
+	FrameHello    byte = 0x01
+	FrameQuery    byte = 0x02
+	FrameRowBatch byte = 0x03
+	FrameDone     byte = 0x04
+	FrameError    byte = 0x05
+)
+
+// Strategy bytes carried in the Query frame. They mirror the engine's
+// strategies without importing it, so both peers share one tiny vocabulary.
+const (
+	StrategyDefault   byte = 0 // server default (normally NEST-JA2 transform)
+	StrategyNested    byte = 1 // nested iteration
+	StrategyTransform byte = 2 // NEST-JA2 transform
+	StrategyKim       byte = 3 // Kim's NEST-JA (the buggy variant, for demos)
+)
+
+// WriteFrame writes one frame (type byte + payload) with its length prefix.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, enforcing MaxFrame before
+// allocating the payload.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Hello is the handshake payload in both directions.
+type Hello struct {
+	Version byte
+}
+
+// EncodeHello builds a Hello payload.
+func EncodeHello(h Hello) []byte {
+	return append([]byte(Magic), h.Version)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) != len(Magic)+1 || string(p[:len(Magic)]) != Magic {
+		return Hello{}, fmt.Errorf("wire: bad hello")
+	}
+	return Hello{Version: p[len(Magic)]}, nil
+}
+
+// Query is a request to run one SQL statement. TimeoutMicros and MaxRows
+// are the caller's lifecycle limits (0 = none, though the server may cap
+// both); Strategy and Parallelism select the evaluation path, with
+// StrategyDefault / Parallelism 0 deferring to the server's configuration.
+type Query struct {
+	TimeoutMicros int64
+	MaxRows       int64
+	Strategy      byte
+	Parallelism   int64
+	SQL           string
+}
+
+// EncodeQuery builds a Query payload.
+func EncodeQuery(q Query) []byte {
+	p := binary.AppendVarint(nil, q.TimeoutMicros)
+	p = binary.AppendVarint(p, q.MaxRows)
+	p = append(p, q.Strategy)
+	p = binary.AppendVarint(p, q.Parallelism)
+	return append(p, q.SQL...)
+}
+
+// DecodeQuery parses a Query payload.
+func DecodeQuery(p []byte) (Query, error) {
+	var q Query
+	var err error
+	if q.TimeoutMicros, p, err = getVarint(p, "timeout"); err != nil {
+		return q, err
+	}
+	if q.MaxRows, p, err = getVarint(p, "max-rows"); err != nil {
+		return q, err
+	}
+	if len(p) < 1 {
+		return q, fmt.Errorf("wire: query missing strategy")
+	}
+	q.Strategy, p = p[0], p[1:]
+	if q.Parallelism, p, err = getVarint(p, "parallelism"); err != nil {
+		return q, err
+	}
+	q.SQL = string(p)
+	return q, nil
+}
+
+// RowBatch is one chunk of a streamed result. Every batch repeats the
+// column names, which keeps the decoder stateless (an empty result is one
+// batch with zero rows, so clients always learn the columns).
+type RowBatch struct {
+	Columns []string
+	Rows    []storage.Tuple
+}
+
+// maxCols and maxBatchRows bound the counts a decoder will believe before
+// reading the corresponding data, so a short hostile payload cannot demand
+// a huge allocation.
+const (
+	maxCols      = 1 << 12
+	maxBatchRows = 1 << 20
+)
+
+// EncodeRowBatch builds a RowBatch payload.
+func EncodeRowBatch(b RowBatch) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(b.Columns)))
+	for _, c := range b.Columns {
+		p = appendString(p, c)
+	}
+	p = binary.AppendUvarint(p, uint64(len(b.Rows)))
+	for _, row := range b.Rows {
+		for _, v := range row {
+			p = AppendValue(p, v)
+		}
+	}
+	return p
+}
+
+// DecodeRowBatch parses a RowBatch payload.
+func DecodeRowBatch(p []byte) (RowBatch, error) {
+	var b RowBatch
+	ncols, p, err := getUvarint(p, "column count")
+	if err != nil {
+		return b, err
+	}
+	if ncols > maxCols {
+		return b, fmt.Errorf("wire: %d columns exceeds limit", ncols)
+	}
+	b.Columns = make([]string, ncols)
+	for i := range b.Columns {
+		if b.Columns[i], p, err = getString(p, "column name"); err != nil {
+			return b, err
+		}
+	}
+	nrows, p, err := getUvarint(p, "row count")
+	if err != nil {
+		return b, err
+	}
+	if nrows > maxBatchRows {
+		return b, fmt.Errorf("wire: %d rows exceeds batch limit", nrows)
+	}
+	if nrows > 0 && ncols == 0 {
+		return b, fmt.Errorf("wire: rows without columns")
+	}
+	// Rows are allocated as they parse out, so a huge declared count backed
+	// by no bytes fails on the first missing value, not after a giant make.
+	for r := uint64(0); r < nrows; r++ {
+		row := make(storage.Tuple, ncols)
+		for c := range row {
+			if row[c], p, err = DecodeValue(p); err != nil {
+				return b, err
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if len(p) != 0 {
+		return b, fmt.Errorf("wire: %d trailing bytes after row batch", len(p))
+	}
+	return b, nil
+}
+
+// Done ends a successful result stream.
+type Done struct {
+	Rows     int64
+	Reads    int64
+	Writes   int64
+	FellBack bool
+}
+
+// EncodeDone builds a Done payload.
+func EncodeDone(d Done) []byte {
+	p := binary.AppendVarint(nil, d.Rows)
+	p = binary.AppendVarint(p, d.Reads)
+	p = binary.AppendVarint(p, d.Writes)
+	var flags byte
+	if d.FellBack {
+		flags |= 1
+	}
+	return append(p, flags)
+}
+
+// DecodeDone parses a Done payload.
+func DecodeDone(p []byte) (Done, error) {
+	var d Done
+	var err error
+	if d.Rows, p, err = getVarint(p, "done rows"); err != nil {
+		return d, err
+	}
+	if d.Reads, p, err = getVarint(p, "done reads"); err != nil {
+		return d, err
+	}
+	if d.Writes, p, err = getVarint(p, "done writes"); err != nil {
+		return d, err
+	}
+	if len(p) != 1 {
+		return d, fmt.Errorf("wire: bad done flags")
+	}
+	d.FellBack = p[0]&1 != 0
+	return d, nil
+}
+
+// Value codec: one kind byte, then a payload shaped by the kind. Strings
+// carry a length prefix (unlike the gob codec in internal/value, which can
+// rely on gob's own framing) so many values can sit in one batch.
+
+// AppendValue appends the wire encoding of v.
+func AppendValue(p []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.KindNull:
+		return append(p, byte(value.KindNull))
+	case value.KindInt:
+		p = append(p, byte(value.KindInt))
+		return binary.AppendVarint(p, v.Int())
+	case value.KindDate:
+		// Dates travel as year*10000 + month*100 + day, mirroring the
+		// chronological integer encoding internal/value uses.
+		d := v.DateOf()
+		p = append(p, byte(value.KindDate))
+		return binary.AppendVarint(p, int64(d.Year())*10000+int64(d.Month())*100+int64(d.Day()))
+	case value.KindFloat:
+		p = append(p, byte(value.KindFloat))
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		return append(p, buf[:]...)
+	case value.KindString:
+		p = append(p, byte(value.KindString))
+		return appendString(p, v.Str())
+	default:
+		// Unreachable for well-formed values; encode as NULL rather than
+		// corrupting the stream.
+		return append(p, byte(value.KindNull))
+	}
+}
+
+// DecodeValue parses one value, returning the remaining bytes.
+func DecodeValue(p []byte) (value.Value, []byte, error) {
+	if len(p) == 0 {
+		return value.Null, nil, fmt.Errorf("wire: missing value")
+	}
+	kind := value.Kind(p[0])
+	p = p[1:]
+	switch kind {
+	case value.KindNull:
+		return value.Null, p, nil
+	case value.KindInt, value.KindDate:
+		i, n := binary.Varint(p)
+		if n <= 0 {
+			return value.Null, nil, fmt.Errorf("wire: bad integer value")
+		}
+		if kind == value.KindDate {
+			d, err := value.NewDate(int(i/10000), int(i/100)%100, int(i%100))
+			if err != nil {
+				return value.Null, nil, fmt.Errorf("wire: bad date value: %w", err)
+			}
+			return value.NewDateValue(d), p[n:], nil
+		}
+		return value.NewInt(i), p[n:], nil
+	case value.KindFloat:
+		if len(p) < 8 {
+			return value.Null, nil, fmt.Errorf("wire: bad float value")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(p[:8]))
+		return value.NewFloat(f), p[8:], nil
+	case value.KindString:
+		s, rest, err := getString(p, "string value")
+		if err != nil {
+			return value.Null, nil, err
+		}
+		return value.NewString(s), rest, nil
+	default:
+		return value.Null, nil, fmt.Errorf("wire: unknown value kind %d", kind)
+	}
+}
+
+func appendString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+func getString(p []byte, what string) (string, []byte, error) {
+	n, p, err := getUvarint(p, what)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(p)) < n {
+		return "", nil, fmt.Errorf("wire: truncated %s", what)
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+func getVarint(p []byte, what string) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad %s", what)
+	}
+	return v, p[n:], nil
+}
+
+func getUvarint(p []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad %s", what)
+	}
+	return v, p[n:], nil
+}

@@ -23,6 +23,7 @@
 package nestedsql
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -58,6 +59,18 @@ var (
 	// the parallel path is circuit-broken after repeated worker faults.
 	ErrCircuitOpen = qctx.ErrCircuitOpen
 )
+
+// RetryAfter extracts the admission gateway's retry-after hint from an
+// overload error (local or received over the wire — the network client
+// reconstructs the same concrete error). It reports false for every
+// other error, including overloads without a hint.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ov *qctx.OverloadError
+	if errors.As(err, &ov) && ov.RetryAfter > 0 {
+		return ov.RetryAfter, true
+	}
+	return 0, false
+}
 
 // Type is a column type.
 type Type uint8

@@ -1,12 +1,16 @@
 package nestedsql_test
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	nestedsql "repro"
+	"repro/internal/qctx"
+	"repro/internal/wire"
 )
 
 func kiesslingDB(t *testing.T) *nestedsql.DB {
@@ -254,5 +258,29 @@ func TestPublicAPISaveRestoreAnalyzeIndex(t *testing.T) {
 	}
 	if got := strings.Join(firstCol(res), ","); got != "10,8" {
 		t.Errorf("restored rows = %v", got)
+	}
+}
+
+func TestRetryAfterHelper(t *testing.T) {
+	// A local overload carries the gateway's hint; the helper surfaces
+	// it for any error that wraps one, and stays quiet otherwise.
+	ov := &qctx.OverloadError{Reason: "queue full", RetryAfter: 75 * time.Millisecond}
+	wrapped := fmt.Errorf("query failed: %w", ov)
+	if d, ok := nestedsql.RetryAfter(wrapped); !ok || d != 75*time.Millisecond {
+		t.Errorf("RetryAfter(wrapped overload) = %v, %v", d, ok)
+	}
+	if _, ok := nestedsql.RetryAfter(errors.New("boring")); ok {
+		t.Error("RetryAfter matched a non-overload error")
+	}
+	if _, ok := nestedsql.RetryAfter(nestedsql.ErrOverloaded); ok {
+		t.Error("RetryAfter matched the bare sentinel (no hint to give)")
+	}
+	// The wire client reconstructs the same concrete type, so a remote
+	// shed answers the helper identically.
+	remote := &wire.RemoteError{Frame: wire.ErrorFrame{
+		Code: wire.CodeOverloaded, RetryAfter: 20 * time.Millisecond, Message: "shed",
+	}}
+	if d, ok := nestedsql.RetryAfter(remote); !ok || d != 20*time.Millisecond {
+		t.Errorf("RetryAfter(remote overload) = %v, %v", d, ok)
 	}
 }

@@ -19,6 +19,11 @@ go test -race ./...
 echo "==> go test -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser"
 go test -run '^$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 
+# The wire-protocol decoder must turn any malformed frame into an error,
+# never a panic or a hang; see internal/wire/fuzz_test.go.
+echo "==> go test -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire"
+go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
+
 # Short chaos pass: a reduced-round run of the seeded fault-injection
 # suite (the full 250-round sweep is `make chaos`). -count=1 defeats the
 # test cache so the faults actually execute in this gate.
@@ -29,5 +34,10 @@ go test -race -short -count=1 -run TestChaosFaultInjection ./internal/engine
 # drain check (the full-length storm is `make storm`).
 echo "==> go test -race -short -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine"
 go test -race -short -count=1 -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
+
+# End-to-end serving smoke: nestedsqld + the Go client + the load
+# harness, including graceful SIGTERM with in-flight streams.
+echo "==> scripts/serve_smoke.sh"
+./scripts/serve_smoke.sh
 
 echo "==> all checks passed"

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Serving smoke gate. Two phases:
+#
+#  1. Boot nestedsqld on a random port with admission bounded below the
+#     client count, stream the paper workload through the Go client from
+#     8 concurrent connections (benchpaper -serve-load), and diff every
+#     streamed result byte-for-byte against the in-process sequential
+#     oracle. Overload sheds must come back as typed Error frames whose
+#     retry-after hint the harness obeys. Then SIGTERM the idle server
+#     and require exit 0.
+#
+#  2. Boot a fresh server, put the load harness on it, and SIGTERM the
+#     server MID-RUN: the drain must let in-flight streams finish and
+#     the server must still exit 0. The harness's own status is ignored
+#     here (its later queries race the shutdown by design).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+    [ -n "${srv_pid:-}" ] && kill "$srv_pid" 2>/dev/null || true
+    [ -n "${load_pid:-}" ] && kill "$load_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "==> building nestedsqld and benchpaper"
+go build -o "$tmp/nestedsqld" ./cmd/nestedsqld
+go build -o "$tmp/benchpaper" ./cmd/benchpaper
+
+# wait_addr LOGFILE: poll for the "listening on" line and print the addr.
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/.*listening on //p' "$1" | head -n 1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.05
+    done
+    echo "serve-smoke: server never reported its address" >&2
+    cat "$1" >&2
+    return 1
+}
+
+echo "==> phase 1: full workload, 8 connections, oracle diff"
+# Admission bounded below the client count: any overload sheds must come
+# back as typed Error frames, and the harness retries them after the
+# server's hint. (On small machines CPU-bound queries may serialize and
+# never saturate the gateway; the deterministic shed-with-retry-after
+# coverage is TestServeOverloadCarriesRetryAfter in internal/server.)
+"$tmp/nestedsqld" -addr 127.0.0.1:0 -fixture both \
+    -max-concurrent 2 -queue-depth 0 2>"$tmp/serve1.log" &
+srv_pid=$!
+addr=$(wait_addr "$tmp/serve1.log")
+
+"$tmp/benchpaper" -serve-load -serve-addr "$addr" -connections 8 -rounds 3
+
+kill -TERM "$srv_pid"
+wait "$srv_pid"   # set -e: a non-zero server exit fails the gate
+srv_pid=""
+echo "==> phase 1 ok (server exited 0 after SIGTERM)"
+
+echo "==> phase 2: SIGTERM with in-flight streaming queries"
+"$tmp/nestedsqld" -addr 127.0.0.1:0 -fixture both \
+    -max-concurrent 4 -queue-depth 2 2>"$tmp/serve2.log" &
+srv_pid=$!
+addr=$(wait_addr "$tmp/serve2.log")
+
+"$tmp/benchpaper" -serve-load -serve-addr "$addr" -connections 8 -rounds 200 \
+    >"$tmp/load2.log" 2>&1 &
+load_pid=$!
+sleep 1   # let the storm get going
+kill -TERM "$srv_pid"
+wait "$srv_pid"
+srv_pid=""
+wait "$load_pid" 2>/dev/null || true   # the harness loses its server mid-run; that's the point
+load_pid=""
+echo "==> phase 2 ok (mid-run SIGTERM drained and exited 0)"
+
+echo "==> serve-smoke passed"
