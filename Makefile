@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm serve-smoke bench
+.PHONY: check vet build test race fuzz chaos storm netchaos serve-smoke bench
 
-check: vet build race fuzz chaos storm serve-smoke
+check: vet build race fuzz chaos storm netchaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,7 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire
 
 # The seeded fault-injection suite: the generated-query corpus executed
 # against a fault-injecting store (read errors, latency, torn temp
@@ -39,6 +40,14 @@ chaos:
 # pool must never overcommit, and nothing may leak.
 storm:
 	$(GO) test -race -count=1 -v -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
+
+# The network chaos storm: clients hammer a live server through the
+# seeded fault-injecting TCP proxy (internal/netfault) — delays, split
+# writes, corruption, truncation, drops, partitions. Every completed
+# result must be byte-identical to the in-process oracle; every failure
+# typed; no goroutine, admission-slot, or pool-lease leaks afterwards.
+netchaos:
+	$(GO) test -race -count=1 -v -run TestNetChaosStorm ./internal/server
 
 # End-to-end serving gate: boots nestedsqld on a random port, streams
 # the paper workload through the Go client from 8 concurrent

@@ -49,6 +49,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "admission: queries allowed to wait behind the running ones; beyond that, shed")
 	memPool := flag.Int64("mem-pool", 0, "admission: global memory pool (bytes) leased out per query (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries may finish on shutdown")
+	heartbeat := flag.Duration("heartbeat", 0, "ping interval for idle sessions that negotiated heartbeats; two unanswered pings evict the peer (0 = 15s)")
+	writeDeadline := flag.Duration("write-deadline", 0, "per-frame write deadline; a consumer stalled past it is evicted, its query cancelled (0 = 30s)")
+	noChecksum := flag.Bool("no-checksum", false, "refuse checksummed framing in negotiation (for overhead measurements)")
+	noHeartbeat := flag.Bool("no-heartbeat", false, "refuse heartbeat liveness in negotiation")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -82,11 +86,15 @@ func main() {
 	}
 
 	srv := server.New(db.Internal(), server.Config{
-		BatchRows:   *batchRows,
-		MaxTimeout:  *maxTimeout,
-		MaxRows:     *maxRows,
-		Strategy:    strat,
-		Parallelism: *parallel,
+		BatchRows:         *batchRows,
+		MaxTimeout:        *maxTimeout,
+		MaxRows:           *maxRows,
+		Strategy:          strat,
+		Parallelism:       *parallel,
+		WriteTimeout:      *writeDeadline,
+		HeartbeatInterval: *heartbeat,
+		DisableChecksum:   *noChecksum,
+		DisableHeartbeat:  *noHeartbeat,
 	})
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

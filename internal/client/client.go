@@ -5,82 +5,332 @@
 // engine returns — errors.Is(err, nestedsql.ErrOverloaded) and
 // errors.As(err, &*qctx.OverloadError) work unchanged, retry-after
 // hint included.
+//
+// # Fault tolerance
+//
+// A connection negotiates checksummed frames and heartbeats during the
+// Hello exchange (DialOptions opts out), answers server Pings from a
+// background read pump, and — when DialOptions.Reconnect is set —
+// survives connection loss transparently: the query is resubmitted on a
+// fresh connection after a capped, jittered backoff, but only if zero
+// RowBatch frames had been received. Once any rows have arrived a
+// resubmission could silently duplicate them, so the stream fails with
+// an error matching ErrConnectionLost instead and the caller decides.
+// An overload retry-after hint from the server is honored as a floor on
+// the reconnect backoff, so a shed-then-disconnected client does not
+// hammer a struggling server.
 package client
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
+
+// ErrConnectionLost reports a connection that died mid-query after rows
+// had already been delivered (or with reconnection disabled). Match
+// with errors.Is; the concrete *ConnectionLostError carries the cause.
+var ErrConnectionLost = errors.New("client: connection lost")
+
+// ConnectionLostError wraps the transport failure that killed a
+// connection. It matches both ErrConnectionLost and its cause, so
+// errors.Is(err, wire.ErrCorruptFrame) still works when corruption was
+// what tore the link down.
+type ConnectionLostError struct {
+	Cause error
+}
+
+func (e *ConnectionLostError) Error() string {
+	return fmt.Sprintf("client: connection lost: %v", e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the cause (multi-error unwrap).
+func (e *ConnectionLostError) Unwrap() []error {
+	return []error{ErrConnectionLost, e.Cause}
+}
+
+// ReconnectConfig tunes automatic redialing. The zero value of each
+// field selects a default; a nil *ReconnectConfig in DialOptions
+// disables reconnection entirely.
+type ReconnectConfig struct {
+	// MaxAttempts bounds redials per failure (0 = 5).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (0 = 20ms). Each attempt
+	// doubles it, capped at MaxDelay, with ±half jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 1s).
+	MaxDelay time.Duration
+	// Seed fixes the jitter schedule for deterministic tests (0 = from
+	// the clock).
+	Seed int64
+}
+
+func (rc *ReconnectConfig) maxAttempts() int {
+	if rc.MaxAttempts <= 0 {
+		return 5
+	}
+	return rc.MaxAttempts
+}
+
+func (rc *ReconnectConfig) baseDelay() time.Duration {
+	if rc.BaseDelay <= 0 {
+		return 20 * time.Millisecond
+	}
+	return rc.BaseDelay
+}
+
+func (rc *ReconnectConfig) maxDelay() time.Duration {
+	if rc.MaxDelay <= 0 {
+		return time.Second
+	}
+	return rc.MaxDelay
+}
+
+// DialOptions tunes a connection beyond the plain Dial signature.
+type DialOptions struct {
+	// Timeout bounds the dial plus handshake (0 = 10s).
+	Timeout time.Duration
+	// IOTimeout bounds each wait for a response frame once a query is in
+	// flight (0 = no bound). It does not apply to an idle connection,
+	// which may sit quietly between queries answering heartbeats.
+	IOTimeout time.Duration
+	// DisableChecksum keeps FeatureChecksum out of the Hello.
+	DisableChecksum bool
+	// DisableHeartbeat keeps FeatureHeartbeat out of the Hello.
+	DisableHeartbeat bool
+	// Reconnect enables transparent redialing; nil disables it.
+	Reconnect *ReconnectConfig
+}
+
+func (o DialOptions) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+// transport is one live TCP connection plus its read pump. The pump
+// owns all reads: it answers server Pings inline (under the write
+// mutex, shared with query submission) and hands every other frame to
+// the stream via recv. When a read fails, the error is recorded and
+// done closes — readErr is safely visible to anyone who saw done close.
+type transport struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex // serializes bw writes: query frames vs pump Pongs
+	bw  *bufio.Writer
+
+	codec     wire.Codec
+	heartbeat bool
+
+	recv    chan recvMsg
+	done    chan struct{} // closed by the pump when reading ends
+	quit    chan struct{} // closed by Close to release a blocked pump
+	quitOne sync.Once
+	readErr error // set before done closes
+}
+
+type recvMsg struct {
+	typ     byte
+	payload []byte
+}
+
+func (t *transport) close() {
+	t.quitOne.Do(func() { close(t.quit) })
+	t.nc.Close()
+}
+
+// write sends one frame and flushes it, under the write mutex and a
+// deadline so a pong to a half-dead server cannot wedge the pump.
+func (t *transport) write(typ byte, payload []byte, timeout time.Duration) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if timeout > 0 {
+		t.nc.SetWriteDeadline(time.Now().Add(timeout))
+	} else {
+		t.nc.SetWriteDeadline(time.Time{})
+	}
+	if err := t.codec.WriteFrame(t.bw, typ, payload); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *transport) readPump() {
+	for {
+		typ, payload, err := t.codec.ReadFrame(t.br)
+		if err != nil {
+			t.readErr = err
+			close(t.done)
+			return
+		}
+		if typ == wire.FramePing {
+			// Liveness probe from the server; answer without involving
+			// the caller, who may be idle between queries.
+			if err := t.write(wire.FramePong, payload, 10*time.Second); err != nil {
+				t.readErr = err
+				close(t.done)
+				return
+			}
+			continue
+		}
+		select {
+		case t.recv <- recvMsg{typ, payload}:
+		case <-t.quit:
+			return
+		}
+	}
+}
 
 // Conn is one client connection. It is not safe for concurrent use; a
 // connection runs one query stream at a time, and the previous Stream
 // must be exhausted or closed before the next Query.
 type Conn struct {
-	c      net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
+	addr string
+	opts DialOptions
+	tr   *transport
+
 	active *Stream
-	err    error // sticky transport/protocol failure; poisons the conn
+	err    error // sticky failure; a reconnectable loss can clear it
+
+	retryFloor time.Time // earliest next submission after an overload shed
+	rng        *rand.Rand
 }
 
-// Dial connects and performs the version handshake.
+// Dial connects and performs the version handshake with default
+// options (checksums and heartbeats on, no reconnection).
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOpts(addr, DialOptions{Timeout: timeout})
+}
+
+// DialOpts connects with explicit options.
+func DialOpts(addr string, opts DialOptions) (*Conn, error) {
+	tr, err := dialTransport(addr, opts)
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
-	if timeout > 0 {
-		nc.SetDeadline(time.Now().Add(timeout))
+	seed := int64(0)
+	if opts.Reconnect != nil {
+		seed = opts.Reconnect.Seed
 	}
-	if err := c.handshake(); err != nil {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Conn{addr: addr, opts: opts, tr: tr, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// dialTransport dials and handshakes. It first offers the extended
+// Hello with feature flags; a server old enough to reject it as a
+// protocol error gets one more dial with the legacy five-byte form —
+// feature-free, but interoperable.
+func dialTransport(addr string, opts DialOptions) (*transport, error) {
+	tr, err := dialOnce(addr, opts, false)
+	if err == nil {
+		return tr, nil
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) && re.Frame.Code == wire.CodeProtocol {
+		return dialOnce(addr, opts, true)
+	}
+	return nil, err
+}
+
+func dialOnce(addr string, opts DialOptions, legacy bool) (*transport, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.timeout())
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(opts.timeout()))
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+
+	h := wire.Hello{Version: wire.Version, Legacy: legacy}
+	if !legacy {
+		if !opts.DisableChecksum {
+			h.Flags |= wire.FeatureChecksum
+		}
+		if !opts.DisableHeartbeat {
+			h.Flags |= wire.FeatureHeartbeat
+		}
+	}
+	// The Hello exchange is always plain framing; the negotiated codec
+	// takes over afterwards.
+	if err := wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello(h)); err != nil {
 		nc.Close()
 		return nil, err
 	}
-	nc.SetDeadline(time.Time{})
-	return c, nil
-}
-
-func (c *Conn) handshake() error {
-	if err := wire.WriteFrame(c.bw, wire.FrameHello, wire.EncodeHello(wire.Hello{Version: wire.Version})); err != nil {
-		return err
+	if err := bw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return err
-	}
-	typ, payload, err := wire.ReadFrame(c.br)
+	typ, payload, err := wire.ReadFrame(br)
 	if err != nil {
-		return fmt.Errorf("client: handshake: %w", err)
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
+	var granted byte
 	switch typ {
 	case wire.FrameHello:
-		h, err := wire.DecodeHello(payload)
+		reply, err := wire.DecodeHello(payload)
 		if err != nil {
-			return err
+			nc.Close()
+			return nil, err
 		}
-		if h.Version != wire.Version {
-			return fmt.Errorf("client: server speaks version %d, want %d", h.Version, wire.Version)
+		if reply.Version != wire.Version {
+			nc.Close()
+			return nil, fmt.Errorf("client: server speaks version %d, want %d", reply.Version, wire.Version)
 		}
-		return nil
+		granted = reply.Flags
 	case wire.FrameError:
 		f, err := wire.DecodeError(payload)
+		nc.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return &wire.RemoteError{Frame: f}
+		return nil, &wire.RemoteError{Frame: f}
 	default:
-		return fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
 	}
+	nc.SetDeadline(time.Time{})
+
+	tr := &transport{
+		nc:        nc,
+		br:        br,
+		bw:        bw,
+		codec:     wire.Codec{Checksums: granted&wire.FeatureChecksum != 0},
+		heartbeat: granted&wire.FeatureHeartbeat != 0,
+		recv:      make(chan recvMsg),
+		done:      make(chan struct{}),
+		quit:      make(chan struct{}),
+	}
+	go tr.readPump()
+	return tr, nil
 }
 
 // Close closes the connection. Any active stream becomes unusable.
-func (c *Conn) Close() error { return c.c.Close() }
+func (c *Conn) Close() error {
+	c.tr.close()
+	if c.err == nil {
+		c.err = errors.New("client: connection closed")
+	}
+	return nil
+}
+
+// Checksums reports whether the server granted checksummed framing.
+func (c *Conn) Checksums() bool { return c.tr.codec.Checksums }
+
+// Heartbeats reports whether the server granted heartbeat liveness.
+func (c *Conn) Heartbeats() bool { return c.tr.heartbeat }
 
 // Options are the per-query knobs carried in the Query frame. Zero
 // values defer to the server's configuration.
@@ -89,6 +339,44 @@ type Options struct {
 	MaxRows     int64
 	Strategy    byte // a wire.Strategy* constant
 	Parallelism int
+	// Cancel aborts the stream client-side when closed: Next returns
+	// false with Err matching qctx.ErrCanceled. It also aborts a
+	// reconnect backoff in progress.
+	Cancel <-chan struct{}
+}
+
+// canReconnect reports whether transparent redialing is configured.
+func (c *Conn) canReconnect() bool { return c.opts.Reconnect != nil }
+
+// redial replaces the dead transport after a backoff, honoring the
+// overload retry-after floor and the stream's Cancel channel.
+func (c *Conn) redial(cancel <-chan struct{}) error {
+	rc := c.opts.Reconnect
+	var lastErr error = ErrConnectionLost
+	for attempt := 0; attempt < rc.maxAttempts(); attempt++ {
+		d := rc.baseDelay() << uint(attempt)
+		if max := rc.maxDelay(); d > max {
+			d = max
+		}
+		// ±half jitter keeps a fleet of reconnecting clients from
+		// stampeding in lockstep.
+		d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+		if floor := time.Until(c.retryFloor); floor > d {
+			d = floor
+		}
+		select {
+		case <-time.After(d):
+		case <-cancel:
+			return qctx.ErrCanceled
+		}
+		tr, err := dialTransport(c.addr, c.opts)
+		if err == nil {
+			c.tr = tr
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: reconnect gave up after %d attempts: %w", rc.maxAttempts(), lastErr)
 }
 
 // Query sends one SQL statement and returns the result stream. The
@@ -96,7 +384,15 @@ type Options struct {
 // Query on this connection.
 func (c *Conn) Query(sql string, opts Options) (*Stream, error) {
 	if c.err != nil {
-		return nil, c.err
+		// A reconnectable connection loss is not fatal to the Conn: the
+		// next query may transparently redial.
+		if !c.canReconnect() || !errors.Is(c.err, ErrConnectionLost) {
+			return nil, c.err
+		}
+		if err := c.redial(opts.Cancel); err != nil {
+			return nil, c.poison(err)
+		}
+		c.err = nil
 	}
 	if c.active != nil {
 		return nil, errors.New("client: previous stream not closed")
@@ -108,15 +404,26 @@ func (c *Conn) Query(sql string, opts Options) (*Stream, error) {
 		Parallelism:   int64(opts.Parallelism),
 		SQL:           sql,
 	}
-	if err := wire.WriteFrame(c.bw, wire.FrameQuery, wire.EncodeQuery(q)); err != nil {
-		return nil, c.poison(err)
+	if err := c.sendQuery(q); err != nil {
+		// The write failed before anything was received; resubmitting on
+		// a fresh connection is always safe here.
+		if !c.canReconnect() {
+			return nil, c.poison(err)
+		}
+		if rerr := c.redial(opts.Cancel); rerr != nil {
+			return nil, c.poison(rerr)
+		}
+		if rerr := c.sendQuery(q); rerr != nil {
+			return nil, c.poison(rerr)
+		}
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, c.poison(err)
-	}
-	st := &Stream{conn: c}
+	st := &Stream{conn: c, q: q, cancel: opts.Cancel}
 	c.active = st
 	return st, nil
+}
+
+func (c *Conn) sendQuery(q wire.Query) error {
+	return c.tr.write(wire.FrameQuery, wire.EncodeQuery(q), 0)
 }
 
 func (c *Conn) poison(err error) error {
@@ -124,6 +431,17 @@ func (c *Conn) poison(err error) error {
 		c.err = err
 	}
 	return err
+}
+
+// noteOverload records a server retry-after hint as a submission floor
+// for future reconnects.
+func (c *Conn) noteOverload(err error) {
+	var ov *qctx.OverloadError
+	if errors.As(err, &ov) && ov.RetryAfter > 0 {
+		if floor := time.Now().Add(ov.RetryAfter); floor.After(c.retryFloor) {
+			c.retryFloor = floor
+		}
+	}
 }
 
 // Stream iterates a query's result. Usage:
@@ -137,10 +455,13 @@ func (c *Conn) poison(err error) error {
 // Row slices are reused between Next calls; copy what you keep.
 type Stream struct {
 	conn     *Conn
+	q        wire.Query
+	cancel   <-chan struct{}
 	cols     []string
 	batch    []storage.Tuple
 	idx      int
 	row      storage.Tuple
+	gotBatch bool // a RowBatch arrived: the resubmission fence
 	done     bool
 	doneInfo wire.Done
 	err      error
@@ -162,28 +483,59 @@ func (s *Stream) Next() bool {
 	return true
 }
 
-// fetch reads the next frame, refilling the batch. Returns false when
-// the stream ended (Done, Error, or transport failure).
+// fetch waits for the next frame from the read pump, refilling the
+// batch. Returns false when the stream ended (Done, Error, cancel, or
+// transport failure that could not be healed by a reconnect).
 func (s *Stream) fetch() bool {
-	typ, payload, err := wire.ReadFrame(s.conn.br)
-	if err != nil {
-		s.fail(s.conn.poison(fmt.Errorf("client: read: %w", err)))
-		return false
+	for {
+		tr := s.conn.tr
+		var timeout <-chan time.Time
+		if io := s.conn.opts.IOTimeout; io > 0 {
+			tm := time.NewTimer(io)
+			defer tm.Stop()
+			timeout = tm.C
+		}
+		select {
+		case m := <-tr.recv:
+			return s.handleFrame(m)
+		case <-tr.done:
+			if s.handleLost(tr.readErr) {
+				continue // reconnected and resubmitted; keep fetching
+			}
+			return false
+		case <-s.cancel:
+			// The server-side query is abandoned; this connection has an
+			// answer in flight we will never read, so it cannot be reused.
+			s.conn.tr.close()
+			s.conn.poison(qctx.ErrCanceled)
+			s.fail(qctx.ErrCanceled)
+			return false
+		case <-timeout:
+			s.conn.tr.close()
+			err := fmt.Errorf("client: no frame within %v: %w", s.conn.opts.IOTimeout, ErrConnectionLost)
+			s.conn.poison(err)
+			s.fail(err)
+			return false
+		}
 	}
-	switch typ {
+}
+
+func (s *Stream) handleFrame(m recvMsg) bool {
+	switch m.typ {
 	case wire.FrameRowBatch:
-		b, err := wire.DecodeRowBatch(payload)
+		b, err := wire.DecodeRowBatch(m.payload)
 		if err != nil {
 			s.fail(s.conn.poison(err))
 			return false
 		}
+		s.gotBatch = true
 		if s.cols == nil {
 			s.cols = b.Columns
 		}
 		s.batch, s.idx = b.Rows, 0
 		return true
 	case wire.FrameDone:
-		d, err := wire.DecodeDone(payload)
+		d, err := wire.DecodeDone(m.payload)
 		if err != nil {
 			s.fail(s.conn.poison(err))
 			return false
@@ -192,18 +544,49 @@ func (s *Stream) fetch() bool {
 		s.finish()
 		return false
 	case wire.FrameError:
-		f, err := wire.DecodeError(payload)
+		f, err := wire.DecodeError(m.payload)
 		if err != nil {
 			s.fail(s.conn.poison(err))
 			return false
 		}
-		s.fail(&wire.RemoteError{Frame: f})
+		rerr := &wire.RemoteError{Frame: f}
+		s.conn.noteOverload(rerr)
+		s.fail(rerr)
 		s.finish()
 		return false
 	default:
-		s.fail(s.conn.poison(fmt.Errorf("client: unexpected frame 0x%02x", typ)))
+		s.fail(s.conn.poison(fmt.Errorf("client: unexpected frame 0x%02x", m.typ)))
 		return false
 	}
+}
+
+// handleLost reacts to the transport dying mid-stream. If no rows were
+// received and reconnection is configured, it redials and resubmits the
+// query, reporting true so fetch continues on the new transport. Any
+// rows already delivered fence off resubmission — a second execution
+// would duplicate them — so the stream fails typed instead.
+func (s *Stream) handleLost(cause error) bool {
+	lost := &ConnectionLostError{Cause: cause}
+	if s.gotBatch || !s.conn.canReconnect() {
+		s.conn.poison(lost)
+		s.fail(lost)
+		s.finish()
+		return false
+	}
+	if err := s.conn.redial(s.cancel); err != nil {
+		s.conn.poison(err)
+		s.fail(err)
+		s.finish()
+		return false
+	}
+	if err := s.conn.sendQuery(s.q); err != nil {
+		s.conn.poison(&ConnectionLostError{Cause: err})
+		s.fail(s.conn.err)
+		s.finish()
+		return false
+	}
+	s.cols, s.batch, s.idx = nil, nil, 0
+	return true
 }
 
 func (s *Stream) fail(err error) {
@@ -213,7 +596,7 @@ func (s *Stream) fail(err error) {
 }
 
 // finish detaches the stream from the connection: the response is
-// complete and the conn may run its next query.
+// complete (or undeliverable) and the conn may run its next query.
 func (s *Stream) finish() {
 	s.done = true
 	if s.conn.active == s {
@@ -240,6 +623,9 @@ func (s *Stream) Stats() wire.Done { return s.doneInfo }
 // next query. It returns the stream's error, if any.
 func (s *Stream) Close() error {
 	for !s.done && s.err == nil {
+		if s.idx < len(s.batch) {
+			s.idx = len(s.batch)
+		}
 		s.fetch()
 	}
 	return s.err

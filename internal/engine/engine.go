@@ -383,7 +383,7 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 		// through the backoff sleep. A streaming query that has already
 		// delivered rows is never re-run — the client would see them twice.
 		if err == nil || db.admit == nil || opts.noAdmission || !qctx.Retryable(err) ||
-			opts.stream.hasEmitted() {
+			opts.stream.hasEmitted() || opts.stream.sinkBroken() {
 			break
 		}
 		delay, ok := db.admit.RetryDelay(attempt)
@@ -528,7 +528,8 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		}
 	}
 	parallel := popts.Parallelism > 1 || popts.Parallelism < 0
-	if err != nil && parallel && retrySequentially(err) && !opts.stream.hasEmitted() {
+	if err != nil && parallel && retrySequentially(err) &&
+		!opts.stream.hasEmitted() && !opts.stream.sinkBroken() {
 		// Graceful degradation: a parallel plan that lost a worker to a
 		// fault, or blew the memory budget partitioning its build side,
 		// is retried sequentially once. Budget counters reset; the

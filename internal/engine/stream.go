@@ -31,14 +31,22 @@ type RowSink struct {
 // failed parallel plan) re-run the whole query, which would duplicate
 // already-delivered rows — so both are fenced once emission starts.
 type streamState struct {
-	sink     *RowSink
-	colsSent bool
-	emitted  int64
+	sink       *RowSink
+	colsSent   bool
+	emitted    int64
+	sinkFailed bool
 }
 
 // hasEmitted reports whether any batch reached the sink. Nil-safe so
 // non-streaming paths can test it unconditionally.
 func (s *streamState) hasEmitted() bool { return s != nil && s.emitted > 0 }
+
+// sinkBroken reports whether a sink callback itself failed. A broken
+// sink means the consumer is gone (a closed network connection, a
+// stalled client past its write deadline): re-running the query on any
+// retry path would stream into the same dead pipe, so retries are
+// fenced even when no rows made it out.
+func (s *streamState) sinkBroken() bool { return s != nil && s.sinkFailed }
 
 // columns forwards the column header exactly once, surviving retries.
 func (s *streamState) columns(cols []string) error {
@@ -49,7 +57,11 @@ func (s *streamState) columns(cols []string) error {
 	if s.sink.Columns == nil {
 		return nil
 	}
-	return s.sink.Columns(cols)
+	if err := s.sink.Columns(cols); err != nil {
+		s.sinkFailed = true
+		return err
+	}
+	return nil
 }
 
 // batch forwards one batch, counting emission.
@@ -58,6 +70,7 @@ func (s *streamState) batch(rows []storage.Tuple) error {
 		return nil
 	}
 	if err := s.sink.Batch(rows); err != nil {
+		s.sinkFailed = true
 		return err
 	}
 	s.emitted += int64(len(rows))

@@ -150,3 +150,26 @@ func TestStreamNoRetryAfterEmission(t *testing.T) {
 		t.Errorf("sink saw %d rows, want exactly 3 (no duplicate delivery)", len(c.rows))
 	}
 }
+
+// TestStreamNoRetryAfterSinkFailure pins the other half of the fence: a
+// sink that fails on the very FIRST batch leaves hasEmitted false (the
+// failed batch is not counted), yet retrying would be wasted work — the
+// consumer's write path is broken, and a re-run would stream into the
+// same dead pipe. The sinkBroken gate must stop the transient-fault
+// retry even when the sink's error looks retryable.
+func TestStreamNoRetryAfterSinkFailure(t *testing.T) {
+	db := lifecycleDB(t)
+	db.EnableAdmission(admission.Config{RetryMax: 3, RetryBase: time.Millisecond, Seed: 1})
+	boom := fmt.Errorf("first write failed: %w", storage.ErrInjectedFault)
+	c := &collectSink{failAt: 1, err: boom}
+	_, err := db.Query(lifecycleQuery, engine.Options{Strategy: engine.TransformJA2, Sink: c.sink(1)})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink failure", err)
+	}
+	if c.batches != 1 {
+		t.Errorf("sink saw %d batch calls; a retry leaked through the sink-failure fence", c.batches)
+	}
+	if c.colCalls != 1 {
+		t.Errorf("columns sent %d times, want exactly once", c.colCalls)
+	}
+}

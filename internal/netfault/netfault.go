@@ -1,0 +1,318 @@
+// Package netfault is an in-process, seeded fault-injecting TCP proxy:
+// the network-layer sibling of internal/storage's fault injector. A
+// Proxy sits between a client and a server, forwarding bytes in both
+// directions while a deterministic per-connection schedule injects the
+// failure modes a real network exhibits under stress:
+//
+//   - delays        — a chunk sleeps before it is forwarded (latency spike)
+//   - write splits  — a chunk is forwarded in several small writes
+//     (exercises partial reads; not a fault, just reality)
+//   - corruption    — one byte of a chunk is flipped in flight
+//   - truncation    — a chunk is cut mid-way and both sides hard-closed
+//     (a frame torn at an arbitrary byte boundary)
+//   - drops         — both sides closed immediately, no warning
+//   - partitions    — forwarding silently stops in both directions while
+//     the connections stay open (the hang that only
+//     deadlines and heartbeats can detect)
+//
+// All randomness derives from Config.Seed plus the connection's accept
+// index, so a (seed, workload) pair replays the same per-connection fault
+// schedule; concurrent connection interleaving is the only nondeterminism
+// left, exactly as with the storage injector. The chaos storm
+// (TestNetChaosStorm in internal/server) drives the whole client/server
+// stack through a Proxy and diffs every surviving result against the
+// in-process oracle.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the per-chunk fault probabilities of a Proxy. A "chunk" is
+// one read off one side of one connection (at most 4 KiB), so a single
+// query's stream rolls the dice many times. All probabilities are
+// independent; the first fault to fire wins the chunk.
+type Config struct {
+	Seed int64
+	// Delay is the probability that a chunk sleeps DelayDur before moving.
+	Delay    float64
+	DelayDur time.Duration
+	// SplitWrites is the probability that a chunk is forwarded in several
+	// small writes with tiny gaps, instead of one write.
+	SplitWrites float64
+	// Corrupt is the probability that one byte of the chunk is flipped.
+	Corrupt float64
+	// Truncate is the probability that the chunk is cut mid-way and the
+	// connection pair is then hard-closed: a frame torn on the wire.
+	Truncate float64
+	// Drop is the probability that both sides are closed immediately.
+	Drop float64
+	// Partition is the probability that the link falls silent: both
+	// directions stop forwarding but the connections stay open until the
+	// proxy is closed or a peer gives up.
+	Partition float64
+	// MaxFaults caps the hard faults (corrupt, truncate, drop, partition)
+	// injected over the proxy's lifetime; 0 means unlimited. Delays and
+	// splits are not capped.
+	MaxFaults int64
+}
+
+// Proxy is the listener plus its live links. Create with New, point
+// clients at Addr, stop with Close (which also severs any partitioned
+// links still blocking).
+type Proxy struct {
+	cfg    Config
+	target string
+	lis    net.Listener
+	done   chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	nconn  int64
+	closed bool
+
+	faults atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a random loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		target: target,
+		lis:    lis,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the target.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Injected reports how many hard faults have fired.
+func (p *Proxy) Injected() int64 { return p.faults.Load() }
+
+// Connections reports how many client connections the proxy has accepted.
+func (p *Proxy) Connections() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nconn
+}
+
+// Close stops accepting, severs every link (including partitioned ones),
+// and waits for the pump goroutines to unwind.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	err := p.lis.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for Close; it reports false (and closes
+// the conn) when the proxy is already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// allow reserves one hard-fault slot, respecting MaxFaults.
+func (p *Proxy) allow() bool {
+	n := p.faults.Add(1)
+	if p.cfg.MaxFaults > 0 && n > p.cfg.MaxFaults {
+		p.faults.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		idx := p.nconn
+		p.nconn++
+		p.mu.Unlock()
+		if !p.track(client) {
+			return
+		}
+		p.wg.Add(1)
+		go p.link(client, idx)
+	}
+}
+
+// link dials the target and pumps both directions until a fault or
+// either peer ends the connection.
+func (p *Proxy) link(client net.Conn, idx int64) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.untrack(client)
+		client.Close()
+		return
+	}
+	if !p.track(server) {
+		p.untrack(client)
+		client.Close()
+		return
+	}
+	l := &pipe{p: p, a: client, b: server, part: make(chan struct{})}
+	p.wg.Add(2)
+	// Each direction draws from its own seeded stream, so the schedule
+	// for connection idx replays regardless of goroutine interleaving.
+	go l.pump(client, server, rand.New(rand.NewSource(p.cfg.Seed+idx*2+1)))
+	go l.pump(server, client, rand.New(rand.NewSource(p.cfg.Seed+idx*2+2)))
+}
+
+// pipe is one client↔server link: both conns, plus the partition latch
+// that stalls the opposite pump too once either direction partitions.
+type pipe struct {
+	p        *Proxy
+	a, b     net.Conn
+	once     sync.Once
+	partOnce sync.Once
+	part     chan struct{}
+}
+
+// sever hard-closes both sides of the link.
+func (l *pipe) sever() {
+	l.once.Do(func() {
+		l.p.untrack(l.a)
+		l.p.untrack(l.b)
+		l.a.Close()
+		l.b.Close()
+	})
+}
+
+// partition silences the link: both pumps stop forwarding after their
+// current read, but the conns stay open so peers see a hang, not a reset.
+func (l *pipe) partition() {
+	l.partOnce.Do(func() { close(l.part) })
+}
+
+// partitioned reports whether the link has fallen silent.
+func (l *pipe) partitioned() bool {
+	select {
+	case <-l.part:
+		return true
+	default:
+		return false
+	}
+}
+
+// stall blocks a partitioned pump until the proxy shuts down.
+func (l *pipe) stall() {
+	<-l.p.done
+	l.sever()
+}
+
+// pump forwards src→dst chunk by chunk, rolling the fault schedule once
+// per chunk.
+func (l *pipe) pump(src, dst net.Conn, rng *rand.Rand) {
+	defer l.p.wg.Done()
+	cfg := &l.p.cfg
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if l.partitioned() {
+				l.stall()
+				return
+			}
+			chunk := buf[:n]
+			if cfg.Delay > 0 && rng.Float64() < cfg.Delay {
+				time.Sleep(cfg.DelayDur)
+			}
+			switch {
+			case cfg.Drop > 0 && rng.Float64() < cfg.Drop && l.p.allow():
+				l.sever()
+				return
+			case cfg.Partition > 0 && rng.Float64() < cfg.Partition && l.p.allow():
+				l.partition()
+				l.stall()
+				return
+			case cfg.Truncate > 0 && rng.Float64() < cfg.Truncate && l.p.allow():
+				// Forward a prefix — cutting mid-frame with high
+				// probability — then slam the door.
+				if cut := rng.Intn(n); cut > 0 {
+					dst.Write(chunk[:cut])
+				}
+				l.sever()
+				return
+			case cfg.Corrupt > 0 && rng.Float64() < cfg.Corrupt && l.p.allow():
+				chunk[rng.Intn(n)] ^= 1 << uint(rng.Intn(8))
+			}
+			if err2 := l.forward(dst, chunk, rng); err2 != nil {
+				l.sever()
+				return
+			}
+		}
+		if err != nil {
+			l.sever()
+			return
+		}
+	}
+}
+
+// forward writes one chunk, possibly split into several smaller writes.
+func (l *pipe) forward(dst net.Conn, chunk []byte, rng *rand.Rand) error {
+	cfg := &l.p.cfg
+	if len(chunk) > 1 && cfg.SplitWrites > 0 && rng.Float64() < cfg.SplitWrites {
+		for len(chunk) > 0 {
+			piece := 1 + rng.Intn(len(chunk))
+			if _, err := dst.Write(chunk[:piece]); err != nil {
+				return err
+			}
+			chunk = chunk[piece:]
+			if len(chunk) > 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		return nil
+	}
+	_, err := dst.Write(chunk)
+	return err
+}
+
+// String summarizes the proxy for logs.
+func (p *Proxy) String() string {
+	return fmt.Sprintf("netfault proxy %s -> %s (%d conns, %d faults)",
+		p.Addr(), p.target, p.Connections(), p.Injected())
+}

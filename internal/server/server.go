@@ -43,8 +43,21 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// WriteTimeout bounds each frame write (0 = 30s). A client that
 	// stops reading stalls the query through backpressure first; this is
-	// the backstop that eventually frees the session.
+	// the slow-client eviction deadline: when a flush exceeds it, the
+	// stalled query is cancelled (freeing its admission slot and pool
+	// lease), a CodeSlowClient Error frame is attempted, and the
+	// connection closes.
 	WriteTimeout time.Duration
+	// HeartbeatInterval paces Ping frames on idle sessions whose client
+	// negotiated FeatureHeartbeat (0 = 15s). Two unanswered pings in a
+	// row evict the peer as dead. DisableHeartbeat turns the feature off
+	// in negotiation entirely.
+	HeartbeatInterval time.Duration
+	// DisableHeartbeat refuses FeatureHeartbeat during negotiation.
+	DisableHeartbeat bool
+	// DisableChecksum refuses FeatureChecksum during negotiation (for
+	// overhead measurements; corruption then passes undetected).
+	DisableChecksum bool
 }
 
 func (c Config) handshakeTimeout() time.Duration {
@@ -66,6 +79,13 @@ func (c Config) writeBuffer() int {
 		return 32 << 10
 	}
 	return c.WriteBufferBytes
+}
+
+func (c Config) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 15 * time.Second
+	}
+	return c.HeartbeatInterval
 }
 
 // Server owns a listener and its sessions. Create with New, run with
@@ -159,6 +179,13 @@ func (s *Server) Serve(lis net.Listener) error {
 // finish streaming, queued and new ones are shed — then every
 // connection is closed and Shutdown waits for the sessions to unwind.
 // It returns the drain error, if any (stragglers were canceled).
+//
+// The whole sequence is bounded by the timeout: the drain runs
+// concurrently, and if it has not finished shortly after the deadline —
+// a canceled query can still be wedged in a frame flush to a client
+// that stopped reading mid-drain, which no qctx cancellation can
+// unblock — the connections are closed anyway, which breaks the stalled
+// writes and lets the drain observe the queries unwinding.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Lock()
 	if s.closing {
@@ -173,14 +200,34 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 
 	// Drain while connections stay up, so finishing queries can still
-	// flush their Done frames to the client.
-	drainErr := s.db.Drain(timeout)
+	// flush their Done frames to the client — but don't let a stalled
+	// consumer hold Shutdown hostage past the deadline.
+	drained := make(chan error, 1)
+	go func() { drained <- s.db.Drain(timeout) }()
+	grace := timeout / 4
+	if grace < 100*time.Millisecond {
+		grace = 100 * time.Millisecond
+	} else if grace > time.Second {
+		grace = time.Second
+	}
+	var drainErr error
+	gotDrain := false
+	select {
+	case drainErr = <-drained:
+		gotDrain = true
+	case <-time.After(timeout + grace):
+	}
 
 	s.mu.Lock()
 	for sess := range s.sessions {
 		sess.conn.Close()
 	}
 	s.mu.Unlock()
+	if !gotDrain {
+		// Closing the connections failed any wedged flushes, so the
+		// queries holding the drain open error out promptly.
+		drainErr = <-drained
+	}
 	s.wg.Wait()
 	return drainErr
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -17,17 +18,29 @@ import (
 // dead channel — which is wired into the engine as the query's Cancel,
 // turning an abandoned connection into qctx.ErrCanceled instead of a
 // query that streams into a broken pipe until its row budget runs out.
-// All writes happen on the session goroutine; net.Conn allows the
-// concurrent Close from Shutdown.
+// All writes happen on the session goroutine (the reader answers
+// nothing itself); net.Conn allows the concurrent Close from Shutdown.
+//
+// The Hello exchange fixes the session's codec (checksummed frames when
+// the client negotiated FeatureChecksum) and whether the session
+// heartbeats: with FeatureHeartbeat, an idle session pings the client on
+// every HeartbeatInterval tick and evicts it after two unanswered pings
+// — the half-open connection a silent partition leaves behind. While a
+// query streams, no pings are sent (the session goroutine is busy and
+// the write path's deadline already covers a dead consumer).
 type session struct {
 	srv  *Server
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	frames chan recvFrame
-	dead   chan struct{} // closed when the read loop exits (disconnect)
-	quit   chan struct{} // closed when the session goroutine exits
+	codec     wire.Codec
+	heartbeat bool
+
+	frames  chan recvFrame
+	dead    chan struct{} // closed when the read loop exits (disconnect)
+	quit    chan struct{} // closed when the session goroutine exits
+	readErr error         // read-loop failure; written before frames closes
 }
 
 type recvFrame struct {
@@ -56,9 +69,10 @@ func newSession(srv *Server, conn net.Conn) *session {
 }
 
 // serve runs the session to completion: handshake, then one query at a
-// time off the frame channel. Responses are strictly sequential even if
-// the client pipelines — the reader goroutine simply blocks handing
-// over the next Query until the current one finishes.
+// time off the frame channel, with heartbeat ticks interleaved while
+// idle. Responses are strictly sequential even if the client pipelines —
+// the reader goroutine simply blocks handing over the next Query until
+// the current one finishes.
 func (s *session) serve() {
 	defer s.srv.removeSession(s)
 	defer s.conn.Close()
@@ -70,32 +84,79 @@ func (s *session) serve() {
 
 	go s.readLoop()
 
+	var ticks <-chan time.Time
+	if s.heartbeat {
+		t := time.NewTicker(s.srv.cfg.heartbeatInterval())
+		defer t.Stop()
+		ticks = t.C
+	}
+	var pingSeq uint64
+	unanswered := 0
+
 	for {
-		f, ok := <-s.frames
-		if !ok {
-			return // client disconnected or sent garbage framing
-		}
-		if f.typ != wire.FrameQuery {
-			s.sendError(wire.ErrorFrame{
-				Code:    wire.CodeProtocol,
-				Message: fmt.Sprintf("unexpected frame type 0x%02x", f.typ),
-			})
-			return
-		}
-		q, err := wire.DecodeQuery(f.payload)
-		if err != nil {
-			s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
-			return
-		}
-		if !s.runQuery(q) {
-			return
+		select {
+		case f, ok := <-s.frames:
+			if !ok {
+				// Disconnect, or unrecoverable framing. A corrupt frame
+				// deserves a typed goodbye: the client's writes were
+				// damaged in flight and its reads may still work.
+				if s.readErr != nil && errors.Is(s.readErr, wire.ErrCorruptFrame) {
+					s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: s.readErr.Error()})
+				}
+				return
+			}
+			unanswered = 0 // any frame proves the peer alive
+			switch f.typ {
+			case wire.FramePong:
+				continue
+			case wire.FramePing:
+				// Symmetric liveness: echo the client's sequence back.
+				if s.writeFrame(wire.FramePong, f.payload) != nil || s.flush() != nil {
+					return
+				}
+				continue
+			case wire.FrameQuery:
+				q, err := wire.DecodeQuery(f.payload)
+				if err != nil {
+					s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
+					return
+				}
+				if !s.runQuery(q) {
+					return
+				}
+			default:
+				s.sendError(wire.ErrorFrame{
+					Code:    wire.CodeProtocol,
+					Message: fmt.Sprintf("unexpected frame type 0x%02x", f.typ),
+				})
+				return
+			}
+		case <-ticks:
+			if unanswered >= 2 {
+				// Two intervals of silence after pinging: a dead peer or a
+				// partition. Say why (best effort) and evict.
+				s.sendError(wire.ErrorFrame{
+					Code:    wire.CodeProtocol,
+					Message: "heartbeat timeout: no pong from peer",
+				})
+				return
+			}
+			pingSeq++
+			if s.writeFrame(wire.FramePing, wire.EncodePing(pingSeq)) != nil || s.flush() != nil {
+				return
+			}
+			unanswered++
 		}
 	}
 }
 
-// handshake validates the client Hello under a read deadline and
-// answers with the server's version. Protocol violations get an Error
-// frame (best effort) before the connection drops.
+// handshake validates the client Hello under a read deadline, negotiates
+// the feature flags, and answers with the server's version plus the
+// granted subset — mirroring the client's payload form, so a legacy peer
+// gets a legacy (5-byte, feature-free) reply it can parse. Protocol
+// violations get an Error frame (best effort) before the connection
+// drops. The negotiated codec takes effect after the reply: the Hello
+// exchange itself is always plain.
 func (s *session) handshake() bool {
 	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.handshakeTimeout()))
 	typ, payload, err := wire.ReadFrame(s.br)
@@ -118,22 +179,41 @@ func (s *session) handshake() bool {
 		})
 		return false
 	}
+	var granted byte
+	if !h.Legacy {
+		mask := wire.FeatureChecksum | wire.FeatureHeartbeat
+		if s.srv.cfg.DisableChecksum {
+			mask &^= wire.FeatureChecksum
+		}
+		if s.srv.cfg.DisableHeartbeat {
+			mask &^= wire.FeatureHeartbeat
+		}
+		granted = h.Flags & mask
+	}
 	s.conn.SetReadDeadline(time.Time{})
-	if err := s.writeFrame(wire.FrameHello, wire.EncodeHello(wire.Hello{Version: wire.Version})); err != nil {
+	reply := wire.Hello{Version: wire.Version, Flags: granted, Legacy: h.Legacy}
+	if err := s.writeFrame(wire.FrameHello, wire.EncodeHello(reply)); err != nil {
 		return false
 	}
-	return s.flush() == nil
+	if s.flush() != nil {
+		return false
+	}
+	s.codec = wire.Codec{Checksums: granted&wire.FeatureChecksum != 0}
+	s.heartbeat = granted&wire.FeatureHeartbeat != 0
+	return true
 }
 
 // readLoop pulls frames off the wire and hands them to the session
-// goroutine. Any read error — EOF, reset, malformed framing — closes
-// dead (canceling an in-flight query) and the frame channel (ending the
-// session loop). The select against quit keeps the goroutine from
-// leaking if the session exits while a frame is in hand.
+// goroutine. Any read error — EOF, reset, a checksum-failing frame,
+// malformed framing — is recorded, then dead closes (canceling an
+// in-flight query) and the frame channel closes (ending the session
+// loop). The select against quit keeps the goroutine from leaking if the
+// session exits while a frame is in hand.
 func (s *session) readLoop() {
 	for {
-		typ, payload, err := wire.ReadFrame(s.br)
+		typ, payload, err := s.codec.ReadFrame(s.br)
 		if err != nil {
+			s.readErr = err
 			close(s.dead)
 			close(s.frames)
 			return
@@ -149,7 +229,8 @@ func (s *session) readLoop() {
 // runQuery executes one Query frame, streaming RowBatch frames as the
 // executor produces them. It reports whether the session should keep
 // serving: query failures are answered with an Error frame and the
-// session survives; write failures mean the client is gone.
+// session survives; write failures mean the client is gone or too slow,
+// and either way the session ends.
 func (s *session) runQuery(q wire.Query) bool {
 	opts, ferr := s.queryOptions(q)
 	if ferr != nil {
@@ -180,7 +261,16 @@ func (s *session) runQuery(q wire.Query) bool {
 	res, err := s.srv.db.Query(q.SQL, opts)
 	if err != nil {
 		if batchErr != nil {
-			return false // the connection is broken; no point reporting
+			// The write path failed, not the query. A stalled consumer
+			// (write deadline exceeded) earns a typed eviction notice; a
+			// vanished one gets nothing — there is no pipe left to talk
+			// down. Either way the session ends and the query's admission
+			// slot and pool lease were already released by Query's return.
+			var ne net.Error
+			if errors.As(batchErr, &ne) && ne.Timeout() {
+				s.evictSlowClient()
+			}
+			return false
 		}
 		return s.sendError(wire.ErrorFrameFor(err))
 	}
@@ -201,6 +291,20 @@ func (s *session) runQuery(q wire.Query) bool {
 		return false
 	}
 	return s.flush() == nil
+}
+
+// evictSlowClient sends the CodeSlowClient Error frame best-effort,
+// bypassing the buffered writer (whose error is sticky after the failed
+// flush) and giving the socket one short grace to take it. If the pipe
+// is still wedged solid the frame is lost and the client will see the
+// close instead — as a connection loss, or as a corrupt frame if the
+// failed flush tore mid-frame.
+func (s *session) evictSlowClient() {
+	s.conn.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+	s.codec.WriteFrame(s.conn, wire.FrameError, wire.EncodeError(wire.ErrorFrame{
+		Code:    wire.CodeSlowClient,
+		Message: fmt.Sprintf("write stalled past %s; slow consumer evicted", s.srv.cfg.writeTimeout()),
+	}))
 }
 
 // queryOptions maps a Query frame onto engine options, applying the
@@ -250,7 +354,8 @@ func (s *session) queryOptions(q wire.Query) (engine.Options, *wire.ErrorFrame) 
 // writeRowBatch frames and flushes one batch. Flushing per batch keeps
 // the client's view current and makes the buffered writer the only
 // server-side buffering — when the socket is full, the flush blocks and
-// backpressure reaches the executor through the sink.
+// backpressure reaches the executor through the sink, up to the write
+// deadline that evicts a consumer who never drains it.
 func (s *session) writeRowBatch(cols []string, rows []storage.Tuple) error {
 	b := wire.RowBatch{Columns: cols, Rows: rows}
 	if err := s.writeFrame(wire.FrameRowBatch, wire.EncodeRowBatch(b)); err != nil {
@@ -270,7 +375,7 @@ func (s *session) sendError(f wire.ErrorFrame) bool {
 
 func (s *session) writeFrame(typ byte, payload []byte) error {
 	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.writeTimeout()))
-	return wire.WriteFrame(s.bw, typ, payload)
+	return s.codec.WriteFrame(s.bw, typ, payload)
 }
 
 func (s *session) flush() error {

@@ -37,7 +37,19 @@ const (
 	// CodeProtocol is a wire-level failure: a malformed frame, a bad
 	// handshake, an unexpected frame type.
 	CodeProtocol byte = 8
+	// CodeSlowClient is a slow-consumer eviction: the client stalled the
+	// server's bounded write buffer past the write deadline, so the server
+	// cancelled its query (freeing the admission slot and pool lease) and
+	// is about to close the connection. Sent best-effort — a fully wedged
+	// pipe may not deliver it, in which case the client sees the close as
+	// a connection loss or a torn (checksum-failing) frame instead.
+	CodeSlowClient byte = 9
 )
+
+// ErrSlowConsumer is what CodeSlowClient unwraps to on the client side: a
+// typed sentinel for "the server evicted this connection for not reading
+// fast enough".
+var ErrSlowConsumer = errors.New("wire: consumer too slow, evicted")
 
 // ErrorFrame is the payload of a FrameError.
 type ErrorFrame struct {
@@ -103,6 +115,8 @@ func (e *RemoteError) Unwrap() error {
 		return &qctx.OverloadError{Reason: "remote", RetryAfter: e.Frame.RetryAfter}
 	case CodeCircuitOpen:
 		return qctx.ErrCircuitOpen
+	case CodeSlowClient:
+		return ErrSlowConsumer
 	default:
 		return nil
 	}

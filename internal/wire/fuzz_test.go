@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -31,8 +32,27 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00})
 	f.Add([]byte{0, 0, 0, 2, FrameRowBatch, 0xFF})
+	// Fault-tolerance extensions: the extended Hello, heartbeats, and
+	// checksummed frames (which a plain reader sees as payload+trailer).
+	f.Add(frame(FrameHello, EncodeHello(Hello{Version: Version, Flags: FeatureChecksum | FeatureHeartbeat})))
+	f.Add(frame(FramePing, EncodePing(7)))
+	f.Add(frame(FramePong, EncodePing(1<<40)))
+	cframe := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := (Codec{Checksums: true}).WriteFrame(&buf, typ, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(cframe(FrameQuery, EncodeQuery(Query{SQL: "SELECT PNUM FROM PARTS"})))
+	f.Add(cframe(FrameError, EncodeError(ErrorFrame{Code: CodeSlowClient, Message: "evicted"})))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
+		// The checksummed reader must be as panic-proof as the plain one,
+		// whatever the bytes; its successes are checked by
+		// FuzzFrameCorruption, here it only has to survive.
+		_, _, _ = (Codec{Checksums: true}).ReadFrame(bytes.NewReader(raw))
+
 		typ, payload, err := ReadFrame(bytes.NewReader(raw))
 		if err != nil {
 			return
@@ -80,6 +100,61 @@ func FuzzDecodeFrame(f *testing.F) {
 				// whatever the code byte says.
 				_ = (&RemoteError{Frame: e}).Unwrap()
 			}
+		case FramePing, FramePong:
+			if seq, err := DecodePing(payload); err == nil {
+				// Over-long varint forms are accepted, so bytes need not
+				// round-trip — but the value must.
+				if seq2, err := DecodePing(EncodePing(seq)); err != nil || seq2 != seq {
+					t.Fatalf("ping not stable: %d vs %d (%v)", seq2, seq, err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFrameCorruption asserts the checksum's reason for existing: ANY
+// single-byte corruption of a checksummed frame's body — the type byte,
+// the payload, or the CRC trailer itself — is detected and surfaces as
+// ErrCorruptFrame, never as a silently garbled frame. (CRC32 detects all
+// single-burst errors up to 32 bits, so a one-byte XOR can never alias.)
+// The length prefix is left alone: corrupting it re-frames the stream
+// rather than damaging this frame, and is exercised by FuzzDecodeFrame.
+func FuzzFrameCorruption(f *testing.F) {
+	f.Add(FrameQuery, EncodeQuery(Query{SQL: "SELECT PNUM FROM PARTS"}), uint16(9), byte(0x01))
+	f.Add(FrameRowBatch, EncodeRowBatch(RowBatch{Columns: []string{"A"}}), uint16(5), byte(0x80))
+	f.Add(FramePing, EncodePing(7), uint16(4), byte(0xFF))
+	f.Add(FrameDone, EncodeDone(Done{Rows: 3}), uint16(0), byte(0x40))
+
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte, idx uint16, mask byte) {
+		codec := Codec{Checksums: true}
+		var buf bytes.Buffer
+		if err := codec.WriteFrame(&buf, typ, payload); err != nil {
+			t.Skip("oversize payload")
+		}
+		pristine := buf.Bytes()
+		typ2, payload2, err := codec.ReadFrame(bytes.NewReader(pristine))
+		if err != nil {
+			t.Fatalf("pristine frame rejected: %v", err)
+		}
+		if typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("pristine frame mutated: typ %02x/%02x, %d/%d payload bytes",
+				typ2, typ, len(payload2), len(payload))
+		}
+		if mask == 0 {
+			return // XOR by zero is not corruption
+		}
+		frame := bytes.Clone(pristine)
+		i := 4 + int(idx)%(len(frame)-4)
+		frame[i] ^= mask
+		_, _, err = codec.ReadFrame(bytes.NewReader(frame))
+		if err == nil {
+			t.Fatalf("single-byte corruption at offset %d (mask %02x) decoded cleanly", i, mask)
+		}
+		if !errors.Is(err, ErrCorruptFrame) {
+			// A flipped type/payload byte must be caught by the checksum,
+			// typed; only garbage that breaks framing itself may surface
+			// as a different decode error.
+			t.Fatalf("corruption at %d surfaced untyped: %v", i, err)
 		}
 	})
 }

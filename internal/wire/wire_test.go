@@ -60,12 +60,101 @@ func TestFrameLengthBounds(t *testing.T) {
 
 func TestHelloRoundTrip(t *testing.T) {
 	h, err := DecodeHello(EncodeHello(Hello{Version: Version}))
-	if err != nil || h.Version != Version {
+	if err != nil || h.Version != Version || h.Legacy || h.Flags != 0 {
 		t.Fatalf("hello round trip: %+v, %v", h, err)
 	}
-	for _, bad := range [][]byte{nil, []byte("NSQ"), []byte("XXXX\x01"), []byte("NSQD")} {
+	for _, bad := range [][]byte{nil, []byte("NSQ"), []byte("XXXX\x01"), []byte("NSQD"), []byte("NSQD\x01\x03\x00")} {
 		if _, err := DecodeHello(bad); err == nil {
 			t.Errorf("DecodeHello(%q) accepted", bad)
+		}
+	}
+}
+
+// TestHelloFeatureNegotiation: the extended Hello carries feature flags,
+// the legacy 5-byte form decodes as Legacy with none, and each form
+// re-encodes to exactly the bytes it came from (old peers interop).
+func TestHelloFeatureNegotiation(t *testing.T) {
+	ext := Hello{Version: Version, Flags: FeatureChecksum | FeatureHeartbeat}
+	got, err := DecodeHello(EncodeHello(ext))
+	if err != nil || got != ext {
+		t.Fatalf("extended hello: %+v, %v", got, err)
+	}
+	legacy := []byte(Magic + "\x01")
+	h, err := DecodeHello(legacy)
+	if err != nil || !h.Legacy || h.Flags != 0 {
+		t.Fatalf("legacy hello: %+v, %v", h, err)
+	}
+	if !bytes.Equal(EncodeHello(h), legacy) {
+		t.Errorf("legacy hello does not re-encode to its 5-byte form")
+	}
+}
+
+// TestChecksummedFrameRoundTrip: the negotiated codec writes a CRC32C
+// trailer and strips it on read; plain and checksummed framings of the
+// same payload differ only by the 4 trailer bytes.
+func TestChecksummedFrameRoundTrip(t *testing.T) {
+	codec := Codec{Checksums: true}
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1, 2, 3}, bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := codec.WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := codec.ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Errorf("frame %d: type=%d payload %d bytes, want type=%d %d bytes",
+				i, typ, len(got), i+1, len(p))
+		}
+	}
+	// Oversize guard accounts for the trailer.
+	if err := codec.WriteFrame(&bytes.Buffer{}, FrameRowBatch, make([]byte, MaxFrame-4)); err == nil {
+		t.Error("checksummed over-large frame accepted")
+	}
+}
+
+// TestChecksumDetectsCorruption: flipping any single byte after the
+// length prefix must surface as ErrCorruptFrame, never a decoded frame.
+// (FuzzFrameCorruption generalizes this over arbitrary payloads.)
+func TestChecksumDetectsCorruption(t *testing.T) {
+	codec := Codec{Checksums: true}
+	var buf bytes.Buffer
+	if err := codec.WriteFrame(&buf, FrameRowBatch, EncodeRowBatch(RowBatch{
+		Columns: []string{"K"},
+		Rows:    []storage.Tuple{{value.NewInt(42)}},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for pos := 4; pos < len(frame); pos++ {
+		bad := append([]byte(nil), frame...)
+		bad[pos] ^= 0x5A
+		_, _, err := codec.ReadFrame(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("corrupting byte %d: err = %v, want ErrCorruptFrame", pos, err)
+		}
+	}
+	// The pristine frame still reads back.
+	if _, _, err := codec.ReadFrame(bytes.NewReader(frame)); err != nil {
+		t.Fatalf("pristine frame: %v", err)
+	}
+}
+
+// TestPingRoundTrip covers the heartbeat payload codec.
+func TestPingRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 1 << 40} {
+		got, err := DecodePing(EncodePing(seq))
+		if err != nil || got != seq {
+			t.Errorf("ping seq %d: got %d, %v", seq, got, err)
+		}
+	}
+	for _, bad := range [][]byte{{}, {0x80}, {0x01, 0x00}} {
+		if _, err := DecodePing(bad); err == nil {
+			t.Errorf("DecodePing(% x) accepted", bad)
 		}
 	}
 }
@@ -192,5 +281,11 @@ func TestErrorTaxonomyAcrossWire(t *testing.T) {
 	var ov *qctx.OverloadError
 	if !errors.As(&RemoteError{Frame: dec}, &ov) || ov.RetryAfter != 80*time.Millisecond {
 		t.Errorf("retry-after lost across the wire: %+v", ov)
+	}
+
+	// A slow-client eviction frame is typed on the receiving end too.
+	evict := &RemoteError{Frame: ErrorFrame{Code: CodeSlowClient, Message: "evicted"}}
+	if !errors.Is(evict, ErrSlowConsumer) {
+		t.Errorf("CodeSlowClient does not unwrap to ErrSlowConsumer")
 	}
 }

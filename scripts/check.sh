@@ -24,6 +24,11 @@ go test -run '^$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 echo "==> go test -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire"
 go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 
+# Any single-byte corruption of a checksummed frame must surface as
+# wire.ErrCorruptFrame — never as a silently garbled frame.
+echo "==> go test -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire"
+go test -run '^$' -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire
+
 # Short chaos pass: a reduced-round run of the seeded fault-injection
 # suite (the full 250-round sweep is `make chaos`). -count=1 defeats the
 # test cache so the faults actually execute in this gate.
@@ -35,8 +40,17 @@ go test -race -short -count=1 -run TestChaosFaultInjection ./internal/engine
 echo "==> go test -race -short -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine"
 go test -race -short -count=1 -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
 
+# Network chaos storm: clients through the seeded fault-injecting proxy
+# (delays, split writes, corruption, truncation, drops, partitions).
+# Completed results must match the in-process oracle byte-for-byte;
+# failures must be typed; nothing may leak afterwards. Fixed seed, so a
+# failure here replays (see internal/server/netchaos_test.go).
+echo "==> go test -race -run TestNetChaosStorm ./internal/server"
+go test -race -count=1 -run TestNetChaosStorm ./internal/server
+
 # End-to-end serving smoke: nestedsqld + the Go client + the load
-# harness, including graceful SIGTERM with in-flight streams.
+# harness, including graceful SIGTERM with in-flight streams and a
+# client killed mid-stream.
 echo "==> scripts/serve_smoke.sh"
 ./scripts/serve_smoke.sh
 

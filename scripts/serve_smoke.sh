@@ -13,6 +13,10 @@
 #     server MID-RUN: the drain must let in-flight streams finish and
 #     the server must still exit 0. The harness's own status is ignored
 #     here (its later queries race the shutdown by design).
+#
+#  3. Kill the CLIENT mid-stream (SIGKILL, no goodbye): the server must
+#     notice the dead peer, release its admission slot, keep serving a
+#     fresh client cleanly, and still exit 0 on SIGTERM.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -80,5 +84,33 @@ srv_pid=""
 wait "$load_pid" 2>/dev/null || true   # the harness loses its server mid-run; that's the point
 load_pid=""
 echo "==> phase 2 ok (mid-run SIGTERM drained and exited 0)"
+
+echo "==> phase 3: SIGKILL the client mid-stream, server must survive"
+# Tight write deadline and fast heartbeats so the dead peer is noticed
+# quickly; the killed harness never closes its socket, so eviction (or
+# the kernel RST) is the only way its query's slot comes back.
+"$tmp/nestedsqld" -addr 127.0.0.1:0 -fixture both \
+    -max-concurrent 2 -queue-depth 2 \
+    -write-deadline 2s -heartbeat 500ms 2>"$tmp/serve3.log" &
+srv_pid=$!
+addr=$(wait_addr "$tmp/serve3.log")
+
+"$tmp/benchpaper" -serve-load -serve-addr "$addr" -connections 4 -rounds 200 \
+    >"$tmp/load3.log" 2>&1 &
+load_pid=$!
+sleep 1   # let streams get in flight
+kill -9 "$load_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+load_pid=""
+
+# The server must still serve a fresh, well-behaved client end to end —
+# the dead connections' slots must come back (max-concurrent is 2, so a
+# leaked slot pair would wedge this run).
+"$tmp/benchpaper" -serve-load -serve-addr "$addr" -connections 2 -rounds 2
+
+kill -TERM "$srv_pid"
+wait "$srv_pid"
+srv_pid=""
+echo "==> phase 3 ok (client SIGKILL absorbed; server served on and exited 0)"
 
 echo "==> serve-smoke passed"
