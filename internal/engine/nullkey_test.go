@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/planner"
+)
+
+// Regression: NEST-JA2's step-4 back-join must be NULL-safe. For a COUNT
+// aggregate, nested iteration counts an empty set for an outer row whose
+// correlation key is NULL (the correlated predicate is Unknown for every
+// inner row), so the row survives whenever `outer op 0` holds. The
+// transform materializes that CT=0 group in TEMP3, but a plain equality
+// back-join (TEMP3.K = A.K) is Unknown on NULL keys and silently dropped
+// the group — Kim's COUNT bug resurfacing one join later. Found by the
+// metamorph fuzzer (internal/metamorph), minimized by its shrinker to a
+// single NULL-keyed outer row; kept here because the bug lived in the
+// transform/exec layers, not the fuzzer.
+const nullKeySetup = `
+	CREATE TABLE NKA (R INTEGER, K INTEGER, V INTEGER, PRIMARY KEY (R));
+	INSERT INTO NKA VALUES (1, NULL, 0), (2, 7, 1), (3, NULL, 2);
+	CREATE TABLE NKB (ID INTEGER, K INTEGER, W INTEGER, PRIMARY KEY (ID));
+	INSERT INTO NKB VALUES (10, 7, 1), (11, NULL, 2);
+`
+
+func newNullKeyDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New(8)
+	if _, err := db.Exec(nullKeySetup, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNestJA2NullCorrelationKeyCount(t *testing.T) {
+	db := newNullKeyDB(t)
+	// R=1: COUNT over the empty correlated set is 0, V=0 <= 0 holds.
+	// R=2: one matching shipment (the NULL-keyed NKB row matches nothing).
+	// R=3: COUNT=0 but V=2, dropped.
+	sql := `SELECT NKA.R, NKA.V FROM NKA
+	        WHERE NKA.V <= (SELECT COUNT(*) FROM NKB WHERE NKB.K = NKA.K)`
+
+	ni := query(t, db, sql, engine.Options{Strategy: engine.NestedIteration})
+	wantRows(t, ni, "(1, 0)", "(2, 1)")
+
+	// The transform must agree under every join method for both the temp
+	// builds and the final back-join, and under the parallel hash join.
+	for tj := 0; tj < 3; tj++ {
+		for fj := 0; fj < 3; fj++ {
+			opts := engine.Options{Strategy: engine.TransformJA2, NoFallback: true}
+			opts.Planner.TempJoin = planner.JoinMethod(tj)
+			opts.Planner.FinalJoin = planner.JoinMethod(fj)
+			wantRows(t, query(t, db, sql, opts), "(1, 0)", "(2, 1)")
+		}
+	}
+	par := engine.Options{Strategy: engine.TransformJA2, NoFallback: true}
+	par.Planner.Parallelism = 2
+	par.Planner.ForceParallel = true
+	wantRows(t, query(t, db, sql, par), "(1, 0)", "(2, 1)")
+}
+
+// NOT EXISTS reaches the same back-join through the section 8.2 rewrite to
+// `0 = (SELECT COUNT(*) ...)`: NULL-keyed outer rows have no matching inner
+// rows and must be kept.
+func TestNestJA2NullCorrelationKeyNotExists(t *testing.T) {
+	db := newNullKeyDB(t)
+	sql := `SELECT NKA.R FROM NKA
+	        WHERE NOT EXISTS (SELECT NKB.ID FROM NKB WHERE NKB.K = NKA.K)`
+
+	ni := query(t, db, sql, engine.Options{Strategy: engine.NestedIteration})
+	wantRows(t, ni, "(1)", "(3)")
+
+	ja2 := query(t, db, sql, engine.Options{Strategy: engine.TransformJA2, NoFallback: true})
+	wantRows(t, ja2, "(1)", "(3)")
+}
+
+// Non-COUNT aggregates take the other step-3 branch, where TEMP3 carries no
+// NULL group keys; the NULL-safe back-join must coincide with plain
+// equality there: NULL-keyed outer rows compare against a NULL aggregate
+// and are dropped, exactly as nested iteration drops them.
+func TestNestJA2NullCorrelationKeyNonCount(t *testing.T) {
+	db := newNullKeyDB(t)
+	sql := `SELECT NKA.R FROM NKA
+	        WHERE NKA.V <= (SELECT MAX(NKB.W) FROM NKB WHERE NKB.K = NKA.K)`
+
+	ni := query(t, db, sql, engine.Options{Strategy: engine.NestedIteration})
+	wantRows(t, ni, "(2)")
+
+	ja2 := query(t, db, sql, engine.Options{Strategy: engine.TransformJA2, NoFallback: true})
+	wantRows(t, ja2, "(2)")
+}

@@ -13,11 +13,17 @@ import (
 // involved in determining which tuples have no matching tuples".
 //
 // Rows whose join key is NULL match nothing; under Outer they are emitted
-// NULL-padded, preserving every left row as the =+ operator requires.
+// NULL-padded, preserving every left row as the =+ operator requires. With
+// NullEq set the key comparison is NULL-safe (value.OpEqNull): NULL keys
+// join with NULL keys, which NEST-JA2's back-join needs so the COUNT=0
+// groups materialized for NULL-keyed outer rows are not dropped. The sort
+// order both sides arrive in (TotalCompare, NULLs first) already groups
+// NULL keys, so the merge needs no extra passes.
 type MergeJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey int
 	Outer             bool
+	NullEq            bool
 
 	sch        RowSchema
 	rightWidth int
@@ -85,7 +91,7 @@ func (m *MergeJoin) loadGroup(key value.Value) error {
 			return nil
 		}
 		rk := t[m.RightKey]
-		if rk.IsNull() {
+		if rk.IsNull() && !m.NullEq {
 			continue // NULL keys can never match
 		}
 		c, err := value.TotalCompare(rk, key)
@@ -123,7 +129,7 @@ func (m *MergeJoin) Next() (storage.Tuple, bool, error) {
 			m.cur, m.gi = t, 0
 		}
 		key := m.cur[m.LeftKey]
-		if key.IsNull() {
+		if key.IsNull() && !m.NullEq {
 			left := m.cur
 			m.cur = nil
 			if m.Outer {

@@ -198,11 +198,15 @@ func defaultWorkers(n int) int {
 // same way, so matching keys meet on the same worker. Semantics match
 // MergeJoin: rows whose join key is NULL match nothing, and with Outer set
 // every unmatched left row is emitted NULL-padded — the left outer join
-// NEST-JA2's COUNT fix depends on.
+// NEST-JA2's COUNT fix depends on. With NullEq set the key comparison is
+// NULL-safe, matching MergeJoin.NullEq: NULL hashes like any other value
+// (to a fixed bucket), so NULL build and probe keys still meet on one
+// worker and join with each other.
 type ParallelHashJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey int
 	Outer             bool
+	NullEq            bool
 	// Workers is the worker-goroutine count; <= 0 means runtime.NumCPU().
 	Workers int
 	// QC, when set, governs the build scan (cancellation + memory budget
@@ -245,7 +249,7 @@ func (j *ParallelHashJoin) Open() error {
 			return err
 		}
 		k := t[j.RightKey]
-		if k.IsNull() {
+		if k.IsNull() && !j.NullEq {
 			continue // NULL build keys can never match
 		}
 		n := tupleBytes(t)
@@ -311,7 +315,7 @@ func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
 			break
 		}
 		p := 0
-		if k := t[j.LeftKey]; !k.IsNull() {
+		if k := t[j.LeftKey]; j.NullEq || !k.IsNull() {
 			p = int(k.Hash() % uint64(w))
 		}
 		bufs[p] = append(bufs[p], t)
@@ -355,7 +359,7 @@ func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
 		}
 		for _, l := range m {
 			matched := false
-			if k := l[j.LeftKey]; !k.IsNull() {
+			if k := l[j.LeftKey]; j.NullEq || !k.IsNull() {
 				for _, r := range table[k.Hash()] {
 					if !r[j.RightKey].Equal(k) {
 						continue // hash collision

@@ -42,7 +42,7 @@ func (p *Planner) join(cur, right input, tr ast.TableRef, conjs []ast.Predicate,
 	// A merge join needs a single equality conjunct relating the two
 	// sides (extra equality conjuncts can post-filter an inner join, but
 	// an outer join's match condition must be evaluated in one place).
-	lkey, rkey, rest := p.mergeKeys(cur, right, joinConjs, outer)
+	lkey, rkey, nullEq, rest := p.mergeKeys(cur, right, joinConjs, outer)
 	canMerge := lkey >= 0 && (!outer || len(rest) == 0)
 
 	// A parallel hash join has the same applicability shape as a merge
@@ -50,7 +50,7 @@ func (p *Planner) join(cur, right input, tr ast.TableRef, conjs []ast.Predicate,
 	// place). It is considered only under JoinAuto — a forced method
 	// reproduces the paper's sequential experiments exactly.
 	if force == JoinAuto && canMerge && p.parallelOK(cur.tuples+right.tuples) {
-		return p.parallelHashJoin(cur, right, lkey, rkey, rest, outer, label)
+		return p.parallelHashJoin(cur, right, lkey, rkey, nullEq, rest, outer, label)
 	}
 
 	method := force
@@ -62,27 +62,29 @@ func (p *Planner) join(cur, right input, tr ast.TableRef, conjs []ast.Predicate,
 		method = JoinNL
 	}
 	if method == JoinMerge {
-		return p.mergeJoin(cur, right, tr, lkey, rkey, rest, outer, label)
+		return p.mergeJoin(cur, right, tr, lkey, rkey, nullEq, rest, outer, label)
 	}
 	return p.nlJoin(cur, right, tr, joinConjs, outer, label)
 }
 
 // mergeKeys picks the equality conjunct to use as the merge key, returning
-// the key positions and the remaining conjuncts. Among the candidates it
+// the key positions, whether the key comparison is NULL-safe (OpEqNull, the
+// NEST-JA2 back-join), and the remaining conjuncts. Among the candidates it
 // prefers a key that matches an input's existing sort order, which both
 // elides a sort and realizes the section 7.4 plan (joining the grouped
 // temp table on its join column rather than on the scalar aggregate
 // comparison).
-func (p *Planner) mergeKeys(cur, right input, joinConjs []ast.Predicate, outer bool) (lkey, rkey int, rest []ast.Predicate) {
+func (p *Planner) mergeKeys(cur, right input, joinConjs []ast.Predicate, outer bool) (lkey, rkey int, nullEq bool, rest []ast.Predicate) {
 	type candidate struct {
 		idx        int
 		lkey, rkey int
+		nullEq     bool
 		score      int
 	}
 	var candidates []candidate
 	for i, c := range joinConjs {
 		cmp, ok := c.(*ast.Comparison)
-		if !ok || cmp.Op != value.OpEq {
+		if !ok || (cmp.Op != value.OpEq && cmp.Op != value.OpEqNull) {
 			continue
 		}
 		lc, lok := cmp.Left.(ast.ColumnRef)
@@ -104,7 +106,7 @@ func (p *Planner) mergeKeys(cur, right input, joinConjs []ast.Predicate, outer b
 		if li == cur.sortedOn {
 			score++
 		}
-		candidates = append(candidates, candidate{idx: i, lkey: li, rkey: ri, score: score})
+		candidates = append(candidates, candidate{idx: i, lkey: li, rkey: ri, nullEq: cmp.Op == value.OpEqNull, score: score})
 	}
 	best := -1
 	for i, c := range candidates {
@@ -115,14 +117,14 @@ func (p *Planner) mergeKeys(cur, right input, joinConjs []ast.Predicate, outer b
 	lkey, rkey = -1, -1
 	chosen := -1
 	if best >= 0 {
-		lkey, rkey, chosen = candidates[best].lkey, candidates[best].rkey, candidates[best].idx
+		lkey, rkey, nullEq, chosen = candidates[best].lkey, candidates[best].rkey, candidates[best].nullEq, candidates[best].idx
 	}
 	for i, c := range joinConjs {
 		if i != chosen {
 			rest = append(rest, c)
 		}
 	}
-	return lkey, rkey, rest
+	return lkey, rkey, nullEq, rest
 }
 
 // parallelOK reports whether a parallel operator over an input of the
@@ -141,7 +143,7 @@ func (p *Planner) parallelOK(tuples float64) bool {
 // ExchangeMerge. Workers interleave nondeterministically, so the result
 // reports no sort order: GROUP BY, DISTINCT, merge joins, and ORDER BY
 // above it keep their sorts (no section 7.4 elision applies).
-func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, rest []ast.Predicate, outer bool, label string) (input, error) {
+func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, nullEq bool, rest []ast.Predicate, outer bool, label string) (input, error) {
 	w := p.opts.workers()
 	src := &exec.ParallelHashJoin{
 		Left:     cur.op,
@@ -149,6 +151,7 @@ func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, rest []ast.
 		LeftKey:  lkey,
 		RightKey: rkey,
 		Outer:    outer,
+		NullEq:   nullEq,
 		Workers:  w,
 		QC:       p.opts.QC,
 	}
@@ -193,7 +196,7 @@ func (p *Planner) chooseMethod(cur, right input) JoinMethod {
 
 // mergeJoin builds a sort-merge join, eliminating sorts on inputs already
 // in key order (the section 7.4 optimizations).
-func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, rest []ast.Predicate, outer bool, label string) (input, error) {
+func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, nullEq bool, rest []ast.Predicate, outer bool, label string) (input, error) {
 	b := p.store.BufferPages()
 	left := cur.op
 	if cur.sortedOn != lkey {
@@ -214,7 +217,7 @@ func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, r
 		kind = "outer merge join"
 	}
 	p.notef("%s: %s %s with %s (B=%d)", label, kind, cur.op.Schema()[lkey], right.op.Schema()[rkey], b)
-	var op exec.Operator = &exec.MergeJoin{Left: left, Right: rightOp, LeftKey: lkey, RightKey: rkey, Outer: outer}
+	var op exec.Operator = &exec.MergeJoin{Left: left, Right: rightOp, LeftKey: lkey, RightKey: rkey, Outer: outer, NullEq: nullEq}
 	if len(rest) > 0 {
 		pred, err := exec.CompileConjuncts(rest, op.Schema())
 		if err != nil {
@@ -250,7 +253,7 @@ func (p *Planner) joinCardinality(cur, right input, conjs []ast.Predicate) float
 	}
 	for _, c := range conjs {
 		cmp, ok := c.(*ast.Comparison)
-		if !ok || cmp.Op != value.OpEq {
+		if !ok || (cmp.Op != value.OpEq && cmp.Op != value.OpEqNull) {
 			continue
 		}
 		lc, lok := cmp.Left.(ast.ColumnRef)

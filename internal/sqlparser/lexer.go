@@ -240,9 +240,9 @@ func (lx *lexer) scanNumberOrDate(start int) (token, error) {
 	return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
 }
 
-// scanOperator scans =, !=, <>, <, <=, >, >=, !<, !>, each optionally
-// followed by '+' for the paper's outer-join operators (=+ and friends,
-// section 5.2).
+// scanOperator scans =, !=, <>, <, <=, >, >=, !<, !>, and the NULL-safe
+// <=>, each optionally followed by '+' for the paper's outer-join
+// operators (=+ and friends, section 5.2).
 func (lx *lexer) scanOperator(start int) (token, error) {
 	two := func(b byte) bool {
 		return lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == b
@@ -271,6 +271,13 @@ func (lx *lexer) scanOperator(start int) (token, error) {
 		case two('='):
 			op = "<="
 			lx.pos += 2
+			// <=> is the NULL-safe equality NEST-JA2 emits for its
+			// back-join; accepting it keeps transformed programs
+			// re-parseable.
+			if lx.pos < len(lx.src) && lx.src[lx.pos] == '>' {
+				op = "<=>"
+				lx.pos++
+			}
 		case two('>'):
 			op = "!="
 			lx.pos += 2

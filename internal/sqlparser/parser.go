@@ -684,6 +684,8 @@ func compareOpOf(s string) (value.CompareOp, error) {
 		return value.OpGt, nil
 	case ">=":
 		return value.OpGe, nil
+	case "<=>":
+		return value.OpEqNull, nil
 	default:
 		return 0, fmt.Errorf("unknown comparison operator %q", s)
 	}

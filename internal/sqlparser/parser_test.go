@@ -134,6 +134,7 @@ func TestParseOperators(t *testing.T) {
 		"=": value.OpEq, "!=": value.OpNe, "<>": value.OpNe,
 		"<": value.OpLt, "<=": value.OpLe, ">": value.OpGt, ">=": value.OpGe,
 		"!<": value.OpGe, "!>": value.OpLe, // System R spellings
+		"<=>": value.OpEqNull, // NEST-JA2's NULL-safe back-join
 	}
 	for opText, want := range cases {
 		qb, err := Parse("SELECT X FROM T WHERE X " + opText + " 5")

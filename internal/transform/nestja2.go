@@ -398,9 +398,15 @@ func (t *Transformer) nestJA2(qb *ast.QueryBlock, p ast.Predicate) ([]ast.Predic
 		Right: ast.ColumnRef{Table: temp3, Column: aggName},
 	}}
 	for _, c := range outerCols {
+		// The back-join must be NULL-safe: in the COUNT path TEMP3 holds a
+		// CT=0 group for NULL-keyed outer rows (nested iteration counts an
+		// empty set for them), and a plain = would drop that group — the
+		// original COUNT bug resurfacing one join later. In the non-COUNT
+		// path TEMP3 has no NULL group keys (step 3's regular join drops
+		// them), so <=> coincides with = there.
 		conjs = append(conjs, &ast.Comparison{
 			Left:  ast.ColumnRef{Table: temp3, Column: c.Column},
-			Op:    value.OpEq,
+			Op:    value.OpEqNull,
 			Right: c,
 		})
 	}

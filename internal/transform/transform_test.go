@@ -65,7 +65,7 @@ func TestJA2KiesslingQ2Steps(t *testing.T) {
 			"WHERE TEMP1.PNUM =+ TEMP2.PNUM GROUP BY TEMP1.PNUM")
 	wantSQL(t, res.Query.String(),
 		"SELECT PARTS.PNUM FROM PARTS, TEMP3 "+
-			"WHERE PARTS.QOH = TEMP3.CT AND TEMP3.PNUM = PARTS.PNUM")
+			"WHERE PARTS.QOH = TEMP3.CT AND TEMP3.PNUM <=> PARTS.PNUM")
 
 	// Temp schemas carry usable column definitions.
 	if res.Temps[2].Rel.Columns[1].Name != "CT" {
@@ -102,7 +102,7 @@ func TestJA2NonEquality(t *testing.T) {
 			"GROUP BY TEMP1.PNUM")
 	wantSQL(t, res.Query.String(),
 		"SELECT PARTS.PNUM FROM PARTS, TEMP2 "+
-			"WHERE PARTS.QOH = TEMP2.MAXQUAN AND TEMP2.PNUM = PARTS.PNUM")
+			"WHERE PARTS.QOH = TEMP2.MAXQUAN AND TEMP2.PNUM <=> PARTS.PNUM")
 }
 
 // Kim's NEST-JA on Q2 reproduces the buggy transformation of section 5.1:
@@ -280,7 +280,7 @@ func TestNestGTransAggregate(t *testing.T) {
 			"WHERE SP.PNO = P.PNO AND TEMP1.CITY = P.CITY GROUP BY TEMP1.CITY")
 	wantSQL(t, res.Query.String(),
 		"SELECT S.SNAME FROM S, TEMP2 "+
-			"WHERE S.STATUS = TEMP2.MAXQTY AND TEMP2.CITY = S.CITY")
+			"WHERE S.STATUS = TEMP2.MAXQTY AND TEMP2.CITY <=> S.CITY")
 }
 
 // Section 6, step 1: the outer block's simple predicates restrict the
@@ -427,7 +427,7 @@ func TestTwoJAPredicatesInOneBlock(t *testing.T) {
 		t.Fatalf("temps = %d, want 5", len(res.Temps))
 	}
 	final := res.Query.String()
-	for _, frag := range []string{"TEMP3.CT", "TEMP5.MAXQUAN", "TEMP3.PNUM = PARTS.PNUM", "TEMP5.PNUM = PARTS.PNUM"} {
+	for _, frag := range []string{"TEMP3.CT", "TEMP5.MAXQUAN", "TEMP3.PNUM <=> PARTS.PNUM", "TEMP5.PNUM <=> PARTS.PNUM"} {
 		if !strings.Contains(final, frag) {
 			t.Errorf("final query missing %q:\n%s", frag, final)
 		}

@@ -15,6 +15,14 @@ const (
 	OpLe
 	OpGt
 	OpGe
+	// OpEqNull is NULL-safe equality: NULL <=> NULL is True and
+	// NULL <=> x is False, where = yields Unknown. It is not part of the
+	// paper's dialect and the parser never produces it; NEST-JA2 uses it
+	// for the back-join with the grouped temp table, whose key columns
+	// carry the outer relation's NULLs (the COUNT path materializes a
+	// CT=0 group for them, and a plain = would drop it — the same class
+	// of bug as Kim's COUNT bug, one join later).
+	OpEqNull
 )
 
 // String renders the operator in SQL syntax.
@@ -32,6 +40,8 @@ func (op CompareOp) String() string {
 		return ">"
 	case OpGe:
 		return ">="
+	case OpEqNull:
+		return "<=>"
 	default:
 		return fmt.Sprintf("CompareOp(%d)", uint8(op))
 	}
@@ -50,13 +60,15 @@ func (op CompareOp) Flip() CompareOp {
 		return OpLt
 	case OpGe:
 		return OpLe
-	default: // = and != are symmetric
+	default: // =, != and <=> are symmetric
 		return op
 	}
 }
 
 // Negate returns the complementary operator: a op b is false exactly when
-// a op.Negate() b is true (for non-NULL operands).
+// a op.Negate() b is true (for non-NULL operands). OpEqNull has no dialect
+// complement and is never negated: the transforms that call Negate only see
+// parser-produced operators.
 func (op CompareOp) Negate() CompareOp {
 	switch op {
 	case OpEq:
@@ -130,10 +142,13 @@ func Compare(a, b Value) (int, error) {
 }
 
 // Apply evaluates a op b under SQL three-valued logic: if either operand is
-// NULL the result is Unknown; otherwise it is the definite truth value of
-// the comparison.
+// NULL the result is Unknown — except OpEqNull, which is definite on every
+// input — otherwise it is the definite truth value of the comparison.
 func (op CompareOp) Apply(a, b Value) (Tri, error) {
 	if a.IsNull() || b.IsNull() {
+		if op == OpEqNull {
+			return TriOf(a.IsNull() && b.IsNull()), nil
+		}
 		return Unknown, nil
 	}
 	c, err := Compare(a, b)
@@ -141,7 +156,7 @@ func (op CompareOp) Apply(a, b Value) (Tri, error) {
 		return Unknown, err
 	}
 	switch op {
-	case OpEq:
+	case OpEq, OpEqNull:
 		return TriOf(c == 0), nil
 	case OpNe:
 		return TriOf(c != 0), nil

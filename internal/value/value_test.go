@@ -176,6 +176,12 @@ func TestCompareOpApply(t *testing.T) {
 		{OpEq, Null, one, Unknown},
 		{OpLt, one, Null, Unknown},
 		{OpNe, Null, Null, Unknown},
+		// NULL-safe equality is definite on every input.
+		{OpEqNull, one, one, True},
+		{OpEqNull, one, two, False},
+		{OpEqNull, Null, Null, True},
+		{OpEqNull, Null, one, False},
+		{OpEqNull, one, Null, False},
 	}
 	for _, c := range cases {
 		got, err := c.op.Apply(c.a, c.b)
@@ -212,7 +218,7 @@ func TestCompareOpFlipNegate(t *testing.T) {
 }
 
 func TestCompareOpString(t *testing.T) {
-	want := map[CompareOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	want := map[CompareOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEqNull: "<=>"}
 	for op, s := range want {
 		if op.String() != s {
 			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
