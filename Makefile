@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm netchaos serve-smoke bench
+.PHONY: check vet build test race fuzz chaos storm netchaos serve-smoke metamorph bench
 
 check: vet build race fuzz chaos storm netchaos serve-smoke
 
@@ -55,6 +55,19 @@ netchaos:
 # oracle, and SIGTERMs the server (idle and mid-run) expecting exit 0.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# The long metamorphic correctness pass: seeded random query pairs with
+# provable set relations (internal/metamorph), executed through every
+# regime — sequential, parallel, nested iteration, live network — with
+# shrinking armed. Failures print a minimized repro script and land in
+# $(METAMORPH_CORPUS) (default: $TMPDIR/metamorph-corpus). Override the
+# budget and seed: `make metamorph ROUNDS=10000 SEED=42`. The short
+# deterministic pass runs inside `make check`/`race` as TestMetamorphShort.
+ROUNDS ?= 2000
+SEED ?=
+metamorph:
+	METAMORPH_ROUNDS=$(ROUNDS) METAMORPH_SEED=$(SEED) \
+		$(GO) test -race -count=1 -v -run TestMetamorphLong ./internal/metamorph
 
 bench:
 	$(GO) test -bench . -benchmem .

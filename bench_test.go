@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/engine"
+	"repro/internal/metamorph"
 	"repro/internal/planner"
 	"repro/internal/schema"
 	"repro/internal/sqlparser"
@@ -174,7 +175,11 @@ func BenchmarkDuplicatesQ2(b *testing.B) {
 // ---- E11: the 80%-95% savings claim across workload scales ----
 
 func BenchmarkSavingsSweep(b *testing.B) {
-	for _, innerTuples := range []int{200, 1000, 4000} {
+	scales := []int{200, 1000, 4000}
+	if testing.Short() {
+		scales = scales[:2] // -short: drop the 400-page inner relation
+	}
+	for _, innerTuples := range scales {
 		cfg := workload.SyntheticConfig{
 			Name:        fmt.Sprintf("rj%d", innerTuples),
 			OuterTuples: 300, InnerTuples: innerTuples,
@@ -195,7 +200,11 @@ func BenchmarkSavingsSweep(b *testing.B) {
 // projection grows past B−1 pages ----
 
 func BenchmarkTempTableCreation(b *testing.B) {
-	for _, innerTuples := range []int{40, 2000} { // Rt3 far below / above B-1 pages
+	scales := []int{40, 2000} // Rt3 far below / above B-1 pages
+	if testing.Short() {
+		scales = []int{40, 400} // -short: still above B-1, much cheaper
+	}
+	for _, innerTuples := range scales {
 		cfg := workload.SyntheticConfig{
 			Name:        fmt.Sprintf("rt3-%d", innerTuples),
 			OuterTuples: 300, InnerTuples: innerTuples,
@@ -265,6 +274,11 @@ func BenchmarkParallelNestJA2(b *testing.B) {
 		OuterPerPage: 10, InnerPerPage: 10,
 		JoinDomain: 2000, Selectivity: 0.5, MatchFraction: 0.5,
 		Seed: 2026,
+	}
+	if testing.Short() {
+		// -short: keep the same shape at a tenth the scale; parallel
+		// speedups shrink but every code path still runs.
+		cfg.OuterTuples, cfg.InnerTuples, cfg.JoinDomain = 2000, 4000, 200
 	}
 	sql := workload.TypeJAQuery(cfg)
 	b.Run("sequential", func(b *testing.B) {
@@ -351,6 +365,33 @@ func BenchmarkNotInAntiJoin(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			benchQuery(b, mkSynthetic(8, cfg), sql, engine.Options{Strategy: s})
 		})
+	}
+}
+
+// ---- Metamorphic fuzzer throughput (extension) ----
+
+// BenchmarkMetamorphScenario measures the correctness fuzzer's in-process
+// throughput: one generated scenario (25 query pairs) loaded, executed
+// through the sequential, parallel, and nested-iteration regimes with all
+// relation checks, and unloaded, per iteration. This is the cost unit
+// behind `make metamorph` budgeting (pairs per second ≈ 25 / time per op).
+func BenchmarkMetamorphScenario(b *testing.B) {
+	gen := metamorph.NewGenerator(metamorph.Config{Seed: 20260808, Scenarios: 1})
+	r, err := metamorph.NewRunner(metamorph.RunnerConfig{Parallel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	s := gen.Scenario(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs, err := r.RunScenario(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vs) > 0 {
+			b.Fatalf("relation violation during benchmark: %s", vs[0].String())
+		}
 	}
 }
 

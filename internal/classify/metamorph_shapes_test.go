@@ -1,0 +1,78 @@
+package classify_test
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/metamorph"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+)
+
+// TestMetamorphGeneratorShapes cross-checks the two sides of the
+// metamorphic fuzzer's contract with Kim's classification: every query the
+// generator emits carries the nesting profile it was built to have (its
+// Want list), and Profile must reproduce it exactly — the type-J/JA
+// boundaries (correlated vs not, aggregate vs not) and the preorder of
+// multi-level correlation included. A drift on either side would silently
+// weaken the fuzzer (queries exercising different strategies than the run
+// statistics claim).
+func TestMetamorphGeneratorShapes(t *testing.T) {
+	covered := map[classify.NestType]int{}
+	multiLevel := 0
+	for _, seed := range []int64{1, 20260808} {
+		gen := metamorph.NewGenerator(metamorph.Config{Seed: seed, Scenarios: 4})
+		for id := 0; id < gen.Scenarios(); id++ {
+			s := gen.Scenario(id)
+			cat, err := s.Catalog()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pair := range s.Pairs {
+				for qi, q := range pair.Queries {
+					qb, err := sqlparser.Parse(q.SQL)
+					if err != nil {
+						t.Fatalf("seed %d pair %d Q%d does not parse: %v\n%s", seed, pair.ID, qi, err, q.SQL)
+					}
+					if _, err := schema.Resolve(cat, qb); err != nil {
+						t.Fatalf("seed %d pair %d Q%d does not resolve: %v\n%s", seed, pair.ID, qi, err, q.SQL)
+					}
+					prof := classify.Profile(qb)
+					if !equalTypes(prof.Types, q.Want) {
+						t.Errorf("seed %d pair %d (%s) Q%d classified %v, generator built %v\n%s",
+							seed, pair.ID, pair.Class, qi, prof.Types, q.Want, q.SQL)
+					}
+					for _, ty := range prof.Types {
+						covered[ty]++
+					}
+					if len(prof.Types) > 1 {
+						multiLevel++
+					}
+				}
+			}
+		}
+	}
+	// The generator must keep exercising all four types and multi-level
+	// correlation, or the fuzzer's strategy coverage quietly shrinks.
+	for _, ty := range []classify.NestType{classify.TypeA, classify.TypeN, classify.TypeJ, classify.TypeJA} {
+		if covered[ty] == 0 {
+			t.Errorf("generator produced no %s predicates", ty)
+		}
+	}
+	if multiLevel == 0 {
+		t.Error("generator produced no multi-level nesting")
+	}
+	t.Logf("classified coverage: %v, multi-level queries: %d", covered, multiLevel)
+}
+
+func equalTypes(a, b []classify.NestType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

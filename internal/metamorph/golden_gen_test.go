@@ -1,0 +1,62 @@
+package metamorph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestPinGoldenRepros regenerates the pinned corpus under testdata/golden
+// when METAMORPH_PIN_GOLDEN is set: it runs the short seed against Kim's
+// NEST-JA mutant and freezes one minimized repro per violation class.
+// Mutant repros make good goldens precisely because they fail under the
+// retained bug and pass under the corrected pipeline — TestGoldenRepros
+// replays them under NEST-JA2 forever after. The hand-written nullkey-*.sql
+// files in the same directory are kept, not regenerated: they pin the
+// NULL-correlation-key bug the fuzzer found in NEST-JA2 itself.
+func TestPinGoldenRepros(t *testing.T) {
+	if os.Getenv("METAMORPH_PIN_GOLDEN") == "" {
+		t.Skip("set METAMORPH_PIN_GOLDEN=1 to regenerate testdata/golden")
+	}
+	dir := filepath.Join("testdata", "golden")
+	gen := NewGenerator(Config{Seed: shortSeed})
+	r, err := NewRunner(RunnerConfig{
+		UnderTest: engine.TransformKim,
+		Shrink:    true,
+		CorpusDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	seen := map[string]bool{}
+	kept := map[string]bool{}
+	for id := 0; id < gen.Scenarios() && len(kept) < 3; id++ {
+		vs, err := r.RunScenario(gen.Scenario(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vs {
+			v := &vs[i]
+			if v.ReproPath == "" || kept[v.ReproPath] {
+				// Violations of the same pair share one repro file —
+				// never delete a file already pinned.
+				continue
+			}
+			// One golden per class (and three total) keeps the corpus
+			// small; surplus corpus files from this run are removed.
+			if seen[v.Pair.Class] || len(kept) >= 3 {
+				os.Remove(v.ReproPath)
+				continue
+			}
+			seen[v.Pair.Class] = true
+			kept[v.ReproPath] = true
+			t.Logf("pinned %s", v.ReproPath)
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatal("mutant produced no repros to pin")
+	}
+}

@@ -1,0 +1,18 @@
+-- metamorph repro
+-- class: aggbound-minmax/type-JA
+-- relation: minmax-bound
+-- check: roundtrip
+-- query-index: 1
+-- hasall: false,false
+-- seed: 20260808 scenario: 0 pair: 12
+-- detail: transform (Kim NEST-JA) vs nested iteration disagree as sets: 1 vs 1 rows; first difference: (3, 7) vs (0, 8)
+-- detail:   query: SELECT MIN(A.V) AS lo, MAX(A.V) AS hi FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K) AND A.D <= 11-1-81
+CREATE TABLE MM0A (R INTEGER, K INTEGER, V INTEGER, G INTEGER, S VARCHAR, D DATE, PRIMARY KEY (R));
+INSERT INTO MM0A VALUES
+  (6, NULL, 0, NULL, 'ash', 5-20-77);
+CREATE TABLE MM0B (ID INTEGER, K INTEGER, W INTEGER, G INTEGER, PRIMARY KEY (ID));
+CREATE TABLE MM0C (K INTEGER, W INTEGER, G INTEGER);
+-- Q0:
+SELECT MIN(A.V) AS lo, MAX(A.V) AS hi FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K);
+-- Q1:
+SELECT MIN(A.V) AS lo, MAX(A.V) AS hi FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K) AND A.D <= 11-1-81;

@@ -1,0 +1,18 @@
+-- metamorph repro
+-- class: notin-notexists
+-- relation: subset-set
+-- check: roundtrip
+-- query-index: 0
+-- hasall: false,false
+-- seed: 20260808 scenario: 0 pair: 2
+-- detail: transform (Kim NEST-JA) vs nested iteration disagree as sets: 0 vs 7 rows; first unmatched: (0, 3)
+-- detail:   query: SELECT A.R, A.K FROM MM0A A WHERE NOT EXISTS (SELECT B.ID FROM MM0B B WHERE B.W <= 6 AND B.K = A.K)
+CREATE TABLE MM0A (R INTEGER, K INTEGER, V INTEGER, G INTEGER, S VARCHAR, D DATE, PRIMARY KEY (R));
+INSERT INTO MM0A VALUES
+  (6, NULL, 0, NULL, 'ash', 5-20-77);
+CREATE TABLE MM0B (ID INTEGER, K INTEGER, W INTEGER, G INTEGER, PRIMARY KEY (ID));
+CREATE TABLE MM0C (K INTEGER, W INTEGER, G INTEGER);
+-- Q0:
+SELECT A.R, A.K FROM MM0A A WHERE NOT EXISTS (SELECT B.ID FROM MM0B B WHERE B.W <= 6 AND B.K = A.K);
+-- Q1:
+SELECT A.R, A.K FROM MM0A A WHERE A.K NOT IN (SELECT B.K FROM MM0B B WHERE B.W <= 6);

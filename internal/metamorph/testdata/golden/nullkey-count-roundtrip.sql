@@ -1,0 +1,19 @@
+-- metamorph repro
+-- class: nullkey-count
+-- relation: set-equal
+-- check: roundtrip
+-- regime: ni
+-- query-index: 0
+-- hasall: false
+-- seed: 0 scenario: 0 pair: 0
+-- detail: pinned by hand: NEST-JA2 step-4 back-join must be NULL-safe, or the
+-- detail: CT=0 group materialized for NULL-keyed outer rows is dropped while
+-- detail: nested iteration keeps them (COUNT over an empty set is 0).
+CREATE TABLE GA (R INTEGER, K INTEGER, V INTEGER, PRIMARY KEY (R));
+INSERT INTO GA VALUES
+  (1, NULL, 0), (2, 7, 1), (3, NULL, 2);
+CREATE TABLE GB (ID INTEGER, K INTEGER, W INTEGER, PRIMARY KEY (ID));
+INSERT INTO GB VALUES
+  (10, 7, 1), (11, NULL, 2);
+-- Q0:
+SELECT GA.R, GA.V FROM GA WHERE GA.V <= (SELECT COUNT(*) FROM GB WHERE GB.K = GA.K);

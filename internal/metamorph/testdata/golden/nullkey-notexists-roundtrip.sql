@@ -1,0 +1,19 @@
+-- metamorph repro
+-- class: nullkey-notexists
+-- relation: set-equal
+-- check: roundtrip
+-- regime: ni
+-- query-index: 0
+-- hasall: false
+-- seed: 0 scenario: 0 pair: 0
+-- detail: pinned by hand: NOT EXISTS reaches the NEST-JA2 COUNT path through
+-- detail: the section 8.2 rewrite to 0 = COUNT(*); NULL-keyed outer rows have
+-- detail: an empty correlated set and must survive the transform too.
+CREATE TABLE GA (R INTEGER, K INTEGER, V INTEGER, PRIMARY KEY (R));
+INSERT INTO GA VALUES
+  (1, NULL, 0), (2, 7, 1), (3, NULL, 2);
+CREATE TABLE GB (ID INTEGER, K INTEGER, W INTEGER, PRIMARY KEY (ID));
+INSERT INTO GB VALUES
+  (10, 7, 1), (11, NULL, 2);
+-- Q0:
+SELECT GA.R FROM GA WHERE NOT EXISTS (SELECT GB.ID FROM GB WHERE GB.K = GA.K);

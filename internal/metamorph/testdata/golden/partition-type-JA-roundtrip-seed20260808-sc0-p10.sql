@@ -1,0 +1,20 @@
+-- metamorph repro
+-- class: partition/type-JA
+-- relation: partition-equal
+-- check: roundtrip
+-- query-index: 2
+-- hasall: false,false,false
+-- seed: 20260808 scenario: 0 pair: 10
+-- detail: transform (Kim NEST-JA) vs nested iteration disagree as sets: 1 vs 2 rows; first unmatched: (NULL, 0)
+-- detail:   query: SELECT A.K, A.V FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K) AND A.R >= 5
+CREATE TABLE MM0A (R INTEGER, K INTEGER, V INTEGER, G INTEGER, S VARCHAR, D DATE, PRIMARY KEY (R));
+INSERT INTO MM0A VALUES
+  (6, NULL, 0, NULL, 'ash', 5-20-77);
+CREATE TABLE MM0B (ID INTEGER, K INTEGER, W INTEGER, G INTEGER, PRIMARY KEY (ID));
+CREATE TABLE MM0C (K INTEGER, W INTEGER, G INTEGER);
+-- Q0:
+SELECT A.K, A.V FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K);
+-- Q1:
+SELECT A.K, A.V FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K) AND A.R < 5;
+-- Q2:
+SELECT A.K, A.V FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K) AND A.R >= 5;

@@ -19,6 +19,30 @@ func FuzzParseScript(f *testing.F) {
 		"SELECT X FROM T WHERE NOT (A = 1 OR B != 2) AND C >= ALL (SELECT D FROM U)",
 		"SELECT X FROM T WHERE A =+ B AND C <+ 1-1-80",
 		"select x from t where y is not in (select z from u) -- comment",
+		// One seed per metamorph generator query class (internal/metamorph),
+		// so coverage-guided runs start from every nesting shape the
+		// correctness fuzzer exercises.
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V <= (SELECT MAX(B.W) FROM MM0B B WHERE B.G = 1)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V < (SELECT AVG(C.W) FROM MM0C C)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.K IN (SELECT B.K FROM MM0B B WHERE B.W <= 5)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V = ANY (SELECT C.W FROM MM0C C WHERE C.G = 0)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.R IN (SELECT B.ID FROM MM0B B)",
+		"SELECT A.R, A.K FROM MM0A A WHERE EXISTS (SELECT B.ID FROM MM0B B WHERE B.K = A.K)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.G IN (SELECT B.G FROM MM0B B WHERE B.K = A.K)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V >= (SELECT COUNT(*) FROM MM0B B WHERE B.K = A.K)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V <= (SELECT MIN(B.W) FROM MM0B B WHERE B.K = A.K)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.V >= ALL (SELECT B.W FROM MM0B B WHERE B.K = A.K)",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.K IN (SELECT B.K FROM MM0B B WHERE B.W = (SELECT COUNT(*) FROM MM0C C WHERE C.K = B.K))",
+		"SELECT A.R, A.K FROM MM0A A WHERE EXISTS (SELECT B.ID FROM MM0B B WHERE B.K = A.K AND B.W = (SELECT COUNT(*) FROM MM0C C WHERE C.G = A.G))",
+		"SELECT A.R, A.K FROM MM0A A WHERE NOT EXISTS (SELECT B.ID FROM MM0B B WHERE B.K = A.K) AND A.S = 'oak'",
+		"SELECT A.R, A.K FROM MM0A A WHERE A.K NOT IN (SELECT B.K FROM MM0B B WHERE B.W <= 6) ORDER BY A.R",
+		"SELECT DISTINCT A.K, A.G FROM MM0A A WHERE A.K IN (SELECT B.K FROM MM0B B) AND A.D <= 6-15-79",
+		"SELECT A.K, COUNT(*) AS CNT FROM MM0A A WHERE EXISTS (SELECT B.ID FROM MM0B B WHERE B.K = A.K) GROUP BY A.K HAVING CNT >= 2",
+		"SELECT MIN(A.V) AS LO, MAX(A.V) AS HI FROM MM0A A WHERE A.G = 2",
+		"SELECT COUNT(*) FROM MM0A A WHERE A.K IN (SELECT C.K FROM MM0C C)",
+		// The NULL-safe back-join operator NEST-JA2 emits (and the parser
+		// accepts so transformed programs re-parse).
+		"SELECT PARTS.PNUM FROM PARTS, TEMP3 WHERE PARTS.QOH = TEMP3.CT AND TEMP3.PNUM <=> PARTS.PNUM",
 		"'unterminated",
 		"SELECT 1-2-3-4 FROM",
 		"((((((",
