@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm netchaos serve-smoke metamorph bench
+.PHONY: check vet build test race fuzz chaos storm memstorm netchaos serve-smoke metamorph bench
 
-check: vet build race fuzz chaos storm netchaos serve-smoke
+check: vet build race fuzz chaos storm memstorm netchaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,17 @@ chaos:
 # pool must never overcommit, and nothing may leak.
 storm:
 	$(GO) test -race -count=1 -v -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
+
+# The memory-pressure storm: concurrent clients run the corpus under
+# byte budgets far below their working sets, through the admission
+# gateway (pressure-sized leases), with spill I/O faults armed. Queries
+# must either complete — sequential plans byte-identical to the
+# unbudgeted oracle — or fail typed; afterwards zero spill files, zero
+# temp files, baseline goroutines. Bounded rounds, fixed seed. The
+# companion tests pin the whole degradation ladder (budget kills the
+# query without spill, completes with it; corrupt runs fail typed).
+memstorm:
+	$(GO) test -race -count=1 -v -run 'TestMemPressureStorm|TestSpillCompletesUnderSmallBudget|TestSequentialBudgetCharged|TestSpillForcedMatchesOracle|TestSpillCorruptRunDetected|TestSpillTimeoutLeakFree|TestMetamorphTightMemory' ./internal/engine ./internal/metamorph
 
 # The network chaos storm: clients hammer a live server through the
 # seeded fault-injecting TCP proxy (internal/netfault) — delays, split

@@ -23,9 +23,12 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/metamorph"
 	"repro/internal/planner"
+	"repro/internal/qctx"
 	"repro/internal/schema"
+	"repro/internal/spill"
 	"repro/internal/sqlparser"
 	"repro/internal/transform"
 	"repro/internal/workload"
@@ -437,4 +440,99 @@ func BenchmarkAdmissionGateway(b *testing.B) {
 			}
 		})
 	})
+}
+
+// ---- Spill-to-disk overhead (extension) ----
+
+// spillBenchCfg sizes relations so sorts and join groups buffer tens of
+// kilobytes — enough that forced spilling moves real data through run
+// files. -short quarters the scale.
+func spillBenchCfg() workload.SyntheticConfig {
+	cfg := workload.SyntheticConfig{
+		Name:        "spill",
+		OuterTuples: 2000, InnerTuples: 4000,
+		OuterPerPage: 10, InnerPerPage: 10,
+		JoinDomain: 200, Selectivity: 1, MatchFraction: 0.5,
+		Seed: 12,
+	}
+	if testing.Short() {
+		cfg.OuterTuples, cfg.InnerTuples = 500, 1000
+	}
+	return cfg
+}
+
+// BenchmarkSpillJoin measures what spilling costs a NEST-JA2 plan (temp
+// materialization, sorts, merge join): the same query fully in memory,
+// then with every reservation refused so all buffered state rides
+// checksummed spill runs. The gap is the price of graceful degradation.
+func BenchmarkSpillJoin(b *testing.B) {
+	cfg := spillBenchCfg()
+	sql := workload.TypeJAQuery(cfg)
+	opts := engine.Options{Strategy: engine.TransformJA2}
+	opts.Planner.TempJoin = planner.JoinMerge
+	opts.Planner.FinalJoin = planner.JoinMerge
+	b.Run("in-memory", func(b *testing.B) {
+		benchQuery(b, mkSynthetic(32, cfg), sql, opts)
+	})
+	b.Run("forced-spill", func(b *testing.B) {
+		mk := func() *engine.DB {
+			db := mkSynthetic(32, cfg)()
+			if err := db.EnableSpill(b.TempDir(), 0); err != nil {
+				b.Fatal(err)
+			}
+			return db
+		}
+		spilled := opts
+		spilled.Spill = qctx.SpillForced
+		benchQuery(b, mk, sql, spilled)
+	})
+}
+
+// BenchmarkExternalSort measures the sort operator alone: in-memory
+// sorting vs external merge sorting through checksummed spill runs, over
+// the same scanned input.
+func BenchmarkExternalSort(b *testing.B) {
+	cfg := spillBenchCfg()
+	mk := mkSynthetic(32, cfg)
+	run := func(b *testing.B, forced bool) {
+		db := mk()
+		file, ok := db.Store().Lookup("RJ")
+		if !ok {
+			b.Fatal("synthetic relation RJ missing")
+		}
+		var sess *spill.Session
+		var qc *qctx.QueryContext
+		if forced {
+			mgr, err := spill.NewManager(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess = mgr.NewSession("bench")
+			defer sess.Close()
+			qc = qctx.New(qctx.Limits{Spill: qctx.SpillForced})
+			defer qc.Finish()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := &exec.Sort{
+				Child: exec.NewSeqScan(file, "RJ", []string{"JC", "VAL", "FILT"}),
+				Keys:  []int{1, 2},
+				Store: db.Store(),
+				QC:    qc,
+				Spill: sess,
+			}
+			rows, err := exec.Drain(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != cfg.InnerTuples {
+				b.Fatalf("sorted %d rows, want %d", len(rows), cfg.InnerTuples)
+			}
+		}
+	}
+	b.Run("in-memory", func(b *testing.B) { run(b, false) })
+	b.Run("spill-runs", func(b *testing.B) { run(b, true) })
 }

@@ -58,6 +58,7 @@ func main() {
 	flag.StringVar(&serveAddr, "serve-addr", "", "serve-load: address of a running nestedsqld -fixture both (empty = in-process server)")
 	flag.IntVar(&serveConns, "connections", 8, "serve-load: concurrent client connections")
 	flag.IntVar(&serveRounds, "rounds", 3, "serve-load: rounds of the query mix per connection")
+	flag.StringVar(&serveSpillDir, "serve-spill-dir", "", "serve-load: enable spill-to-disk on the in-process server, rooted here (empty = off)")
 	flag.Parse()
 
 	if serveLoadFlag {

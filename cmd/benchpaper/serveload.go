@@ -34,6 +34,7 @@ var (
 	serveAddr     string
 	serveConns    int
 	serveRounds   int
+	serveSpillDir string
 )
 
 // loadQuery is one workload entry: the SQL, the strategy byte the
@@ -97,6 +98,11 @@ func loadDB() *nestedsql.DB {
 			MemPool:       admitMemPool,
 		}),
 	)
+	if serveSpillDir != "" {
+		if err := db.EnableSpill(serveSpillDir, 0); err != nil {
+			panic(err)
+		}
+	}
 	if err := db.LoadFixture(nestedsql.FixtureKiessling); err != nil {
 		panic(err)
 	}
@@ -216,8 +222,10 @@ func expServeLoad() {
 	}
 	if srvDB != nil {
 		st := srvDB.AdmissionStats()
-		fmt.Printf("serve-load: admission admitted=%d shed=%d degraded=%d\n",
-			st.Admitted, st.Shed, st.Degraded)
+		fmt.Printf("serve-load: admission admitted=%d shed=%d degraded=%d pressure=%d\n",
+			st.Admitted, st.Shed, st.Degraded, st.PressureGrants)
+		sp := srvDB.SpillStats()
+		fmt.Printf("serve-load: spill runs=%d bytes=%d\n", sp.Runs, sp.Bytes)
 	}
 	fmt.Println("serve-load: all streamed results byte-identical to the sequential oracle")
 }

@@ -64,6 +64,9 @@ func main() {
 	verifyParallel := flag.Bool("verify-parallel", false, "cross-check every parallel result against the sequential plan and nested iteration")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit; exceeding it fails the query (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query result-row budget; exceeding it fails the query (0 = none)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query memory budget (bytes) for hash builds and sorts; without -spill-dir exceeding it fails the query (0 = none)")
+	spillDir := flag.String("spill-dir", "", "spill-to-disk directory: queries over budget write checksummed run files there and complete instead of failing (empty = spilling off)")
+	spillThreshold := flag.Int64("spill-threshold", 0, "start spilling once a query buffers this many bytes, even under budget (0 = spill only at the budget)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission: max concurrent queries (0 = no admission gateway)")
 	queueDepth := flag.Int("queue-depth", 0, "admission: queries allowed to wait behind the running ones; beyond that, shed")
 	memPool := flag.Int64("mem-pool", 0, "admission: global memory pool (bytes) leased out per query (0 = none)")
@@ -106,6 +109,13 @@ func main() {
 			}))
 		}
 		db = nestedsql.Open(openOpts...)
+	}
+	if *spillDir != "" {
+		// EnableSpill (not the Open option) so a restored snapshot gets
+		// spilling too, and so a bad directory is a clean error.
+		if err := db.EnableSpill(*spillDir, *spillThreshold); err != nil {
+			fail(err)
+		}
 	}
 	if *open == "" && *fixture != "none" {
 		f, ok := fixtures[*fixture]
@@ -158,6 +168,7 @@ func main() {
 		verifyParallel: *verifyParallel,
 		timeout:        *timeout,
 		maxRows:        *maxRows,
+		maxBytes:       *maxBytes,
 	}
 	if *interactive {
 		repl(db, os.Stdin, true, sess)
@@ -222,6 +233,9 @@ func printResult(res *nestedsql.Result) {
 		fmt.Println(strings.Join(parts, " | "))
 	}
 	fmt.Printf("\n%d row(s); %s", len(res.Rows), res.PageIO)
+	if res.Spill.Runs > 0 {
+		fmt.Printf("; spilled %d run(s), %d bytes", res.Spill.Runs, res.Spill.Bytes)
+	}
 	if res.FellBack {
 		fmt.Print("; fell back to nested iteration")
 	}

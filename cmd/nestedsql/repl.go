@@ -22,6 +22,7 @@ type session struct {
 	verifyParallel bool
 	timeout        time.Duration
 	maxRows        int64
+	maxBytes       int64
 }
 
 // options assembles the QueryOptions for one statement.
@@ -38,6 +39,9 @@ func (s *session) options() []nestedsql.QueryOption {
 	}
 	if s.maxRows > 0 {
 		opts = append(opts, nestedsql.WithMaxRows(s.maxRows))
+	}
+	if s.maxBytes > 0 {
+		opts = append(opts, nestedsql.WithMemoryBudget(s.maxBytes))
 	}
 	return opts
 }
@@ -192,11 +196,16 @@ func metaCommand(db *nestedsql.DB, cmd string, sess *session) bool {
 		}
 		fmt.Println("statistics collected")
 	case `\stats`:
-		if db.Internal().Admission() == nil {
+		if db.Internal().Admission() != nil {
+			fmt.Println(db.AdmissionStats())
+		} else {
 			fmt.Println("admission gateway disabled (start with -max-concurrent / -mem-pool)")
-			break
 		}
-		fmt.Println(db.AdmissionStats())
+		if db.Internal().SpillManager() != nil {
+			fmt.Println("spill:", db.SpillStats())
+		} else {
+			fmt.Println("spilling disabled (start with -spill-dir)")
+		}
 	default:
 		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\timeout, \\analyze, \\index, \\stats, \\q)\n", fields[0])
 	}

@@ -48,6 +48,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission: max concurrent queries (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 0, "admission: queries allowed to wait behind the running ones; beyond that, shed")
 	memPool := flag.Int64("mem-pool", 0, "admission: global memory pool (bytes) leased out per query (0 = none)")
+	spillDir := flag.String("spill-dir", "", "spill-to-disk directory: queries over their memory lease write checksummed run files there and complete instead of failing (empty = spilling off)")
+	spillThreshold := flag.Int64("spill-threshold", 0, "start spilling once a query buffers this many bytes, even under budget (0 = spill only at the budget)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries may finish on shutdown")
 	heartbeat := flag.Duration("heartbeat", 0, "ping interval for idle sessions that negotiated heartbeats; two unanswered pings evict the peer (0 = 15s)")
 	writeDeadline := flag.Duration("write-deadline", 0, "per-frame write deadline; a consumer stalled past it is evicted, its query cancelled (0 = 30s)")
@@ -70,6 +72,11 @@ func main() {
 			MemPool:       *memPool,
 		}),
 	)
+	if *spillDir != "" {
+		if err := db.EnableSpill(*spillDir, *spillThreshold); err != nil {
+			fail(err)
+		}
+	}
 	switch *fixture {
 	case "kiessling":
 		mustLoad(db, nestedsql.FixtureKiessling)
@@ -119,6 +126,9 @@ func main() {
 	// leaked.
 	if err := <-shutdownErr; err != nil {
 		fmt.Fprintf(os.Stderr, "nestedsqld: drain: %v\n", err)
+	}
+	if *spillDir != "" {
+		fmt.Fprintf(os.Stderr, "nestedsqld: spill: %v\n", db.SpillStats())
 	}
 	fmt.Fprintln(os.Stderr, "nestedsqld: bye")
 }

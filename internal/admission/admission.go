@@ -104,6 +104,7 @@ type Request struct {
 type grantResult struct {
 	lease    int64
 	degraded bool
+	pressure bool
 	err      error // set when the waiter is shed (drain)
 }
 
@@ -119,22 +120,24 @@ type Controller struct {
 	cfg     Config
 	breaker *Breaker
 
-	mu       sync.Mutex
-	running  int
-	queue    []*waiter
-	poolUsed int64
-	poolPeak int64
-	draining bool
-	active   map[*Ticket]struct{}
-	rng      *rand.Rand
+	mu          sync.Mutex
+	running     int
+	queue       []*waiter
+	poolUsed    int64
+	poolPeak    int64
+	draining    bool
+	spillBacked bool
+	active      map[*Ticket]struct{}
+	rng         *rand.Rand
 
 	// Counters (under mu).
-	admitted      int64
-	shed          int64
-	queueTimeouts int64
-	degraded      int64
-	retries       int64
-	drainCanceled int64
+	admitted       int64
+	shed           int64
+	queueTimeouts  int64
+	degraded       int64
+	pressureGrants int64
+	retries        int64
+	drainCanceled  int64
 	// ewmaRun tracks recent query durations for the retry-after hint.
 	ewmaRun time.Duration
 }
@@ -162,14 +165,25 @@ func NewController(cfg Config) *Controller {
 // Config returns the controller's (defaulted) configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// SetSpillBacked tells the memory pool that queries can degrade to
+// disk-backed execution instead of failing on a tiny budget. Under
+// pressure the pool then grants whatever remains (a "pressure" lease,
+// below MinLease) rather than queuing the arrival — a spill-capable
+// lessee makes progress on any positive budget.
+func (c *Controller) SetSpillBacked(on bool) {
+	c.mu.Lock()
+	c.spillBacked = on
+	c.mu.Unlock()
+}
+
 // grantLocked decides whether a query wanting `want` lease bytes can run
 // right now, and with how much. Callers hold c.mu.
-func (c *Controller) grantLocked(want int64) (lease int64, degraded, ok bool) {
+func (c *Controller) grantLocked(want int64) (lease int64, degraded, pressure, ok bool) {
 	if c.cfg.MaxConcurrent > 0 && c.running >= c.cfg.MaxConcurrent {
-		return 0, false, false
+		return 0, false, false, false
 	}
 	if c.cfg.PoolBytes == 0 {
-		return 0, false, true
+		return 0, false, false, true
 	}
 	if want <= 0 {
 		want = c.cfg.defaultLease()
@@ -186,17 +200,22 @@ func (c *Controller) grantLocked(want int64) (lease int64, degraded, ok bool) {
 		lease = want
 	case free >= c.cfg.minLease():
 		lease, degraded = free, true
+	case c.spillBacked && free > 0:
+		// Pressure grant: spill-backed queries degrade to disk rather
+		// than fail on a tiny budget, so the nearly-exhausted pool hands
+		// out its remainder instead of making the arrival wait.
+		lease, degraded, pressure = free, true, true
 	default:
-		return 0, false, false
+		return 0, false, false, false
 	}
-	return lease, degraded, true
+	return lease, degraded, pressure, true
 }
 
 // admitLocked commits a grant and mints the ticket. When charge is true
 // it also bumps the running count and pool usage; a waiter woken by
 // wakeLocked already carries that reservation and passes false.
 // Callers hold c.mu.
-func (c *Controller) admitLocked(lease int64, degraded bool, timeout time.Duration, start time.Time, charge bool) *Ticket {
+func (c *Controller) admitLocked(lease int64, degraded, pressure bool, timeout time.Duration, start time.Time, charge bool) *Ticket {
 	if charge {
 		c.running++
 		c.poolUsed += lease
@@ -208,7 +227,10 @@ func (c *Controller) admitLocked(lease int64, degraded bool, timeout time.Durati
 	if degraded {
 		c.degraded++
 	}
-	t := &Ticket{c: c, lease: lease, degraded: degraded, start: start}
+	if pressure {
+		c.pressureGrants++
+	}
+	t := &Ticket{c: c, lease: lease, degraded: degraded, pressure: pressure, start: start}
 	if timeout > 0 {
 		t.deadline = start.Add(timeout)
 	}
@@ -252,8 +274,8 @@ func (c *Controller) Admit(req Request) (*Ticket, error) {
 		return nil, err
 	}
 	if len(c.queue) == 0 {
-		if lease, degraded, ok := c.grantLocked(req.MemBytes); ok {
-			t := c.admitLocked(lease, degraded, req.Timeout, start, true)
+		if lease, degraded, pressure, ok := c.grantLocked(req.MemBytes); ok {
+			t := c.admitLocked(lease, degraded, pressure, req.Timeout, start, true)
 			c.mu.Unlock()
 			return t, nil
 		}
@@ -288,7 +310,7 @@ func (c *Controller) Admit(req Request) (*Ticket, error) {
 			return nil, qctx.ErrQueryTimeout
 		}
 		c.mu.Lock()
-		t := c.admitLocked(gr.lease, gr.degraded, req.Timeout, start, false)
+		t := c.admitLocked(gr.lease, gr.degraded, gr.pressure, req.Timeout, start, false)
 		c.mu.Unlock()
 		return t, nil
 	case <-deadline:
@@ -340,7 +362,7 @@ func (c *Controller) releaseResourcesLocked(lease int64) {
 func (c *Controller) wakeLocked() {
 	for len(c.queue) > 0 {
 		w := c.queue[0]
-		lease, degraded, ok := c.grantLocked(w.want)
+		lease, degraded, pressure, ok := c.grantLocked(w.want)
 		if !ok {
 			return
 		}
@@ -352,7 +374,7 @@ func (c *Controller) wakeLocked() {
 		if c.poolUsed > c.poolPeak {
 			c.poolPeak = c.poolUsed
 		}
-		w.grant <- grantResult{lease: lease, degraded: degraded}
+		w.grant <- grantResult{lease: lease, degraded: degraded, pressure: pressure}
 	}
 }
 
@@ -473,6 +495,7 @@ type Stats struct {
 	Running, Waiting                 int
 	Admitted, Shed                   int64
 	QueueTimeouts, Degraded, Retries int64
+	PressureGrants                   int64
 	DrainCanceled                    int64
 	PoolBytes, PoolUsed, PoolPeak    int64
 	BreakerState                     string
@@ -489,10 +512,11 @@ func (c *Controller) Stats() Stats {
 		Waiting:       len(c.queue),
 		Admitted:      c.admitted,
 		Shed:          c.shed,
-		QueueTimeouts: c.queueTimeouts,
-		Degraded:      c.degraded,
-		Retries:       c.retries,
-		DrainCanceled: c.drainCanceled,
+		QueueTimeouts:  c.queueTimeouts,
+		Degraded:       c.degraded,
+		Retries:        c.retries,
+		PressureGrants: c.pressureGrants,
+		DrainCanceled:  c.drainCanceled,
 		PoolBytes:     c.cfg.PoolBytes,
 		PoolUsed:      c.poolUsed,
 		PoolPeak:      c.poolPeak,
@@ -507,8 +531,8 @@ func (s Stats) String() string {
 	b := fmt.Sprintf("admission: %d running, %d queued, %d admitted, %d shed, %d queue timeouts\n",
 		s.Running, s.Waiting, s.Admitted, s.Shed, s.QueueTimeouts)
 	if s.PoolBytes > 0 {
-		b += fmt.Sprintf("memory pool: %d/%d bytes leased (peak %d), %d degraded grants\n",
-			s.PoolUsed, s.PoolBytes, s.PoolPeak, s.Degraded)
+		b += fmt.Sprintf("memory pool: %d/%d bytes leased (peak %d), %d degraded grants (%d under pressure)\n",
+			s.PoolUsed, s.PoolBytes, s.PoolPeak, s.Degraded, s.PressureGrants)
 	}
 	b += fmt.Sprintf("retries: %d transient; breaker: %s, %d trips", s.Retries, s.BreakerState, s.BreakerTrips)
 	if s.Draining {
@@ -524,6 +548,7 @@ type Ticket struct {
 	c        *Controller
 	lease    int64
 	degraded bool
+	pressure bool
 	start    time.Time
 	deadline time.Time
 
@@ -539,6 +564,11 @@ func (t *Ticket) Lease() int64 { return t.lease }
 // default) lease by pool pressure; the engine responds by preferring
 // sequential plans, which buffer less.
 func (t *Ticket) Degraded() bool { return t.degraded }
+
+// Pressure reports that the lease came from a nearly-exhausted pool and
+// is below MinLease — granted only because spill-backed execution can
+// degrade to disk instead of failing.
+func (t *Ticket) Pressure() bool { return t.pressure }
 
 // Remaining reports the time left until the query's deadline; ok is
 // false when the request carried no deadline. Admission guarantees a

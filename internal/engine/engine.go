@@ -30,6 +30,7 @@ import (
 	"repro/internal/qctx"
 	"repro/internal/querygraph"
 	"repro/internal/schema"
+	"repro/internal/spill"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -72,6 +73,9 @@ type DB struct {
 	indexes *index.Registry
 	admit   *admission.Controller
 	qcount  atomic.Int64 // temp-table namespace allocator
+
+	spill          *spill.Manager // nil unless EnableSpill was called
+	spillThreshold int64
 }
 
 // New creates an empty database with the given buffer pool size (the
@@ -92,8 +96,38 @@ func New(bufferPages int) *DB {
 // not safe to swap controllers while queries run.
 func (db *DB) EnableAdmission(cfg admission.Config) *admission.Controller {
 	db.admit = admission.NewController(cfg)
+	if db.spill != nil {
+		db.admit.SetSpillBacked(true)
+	}
 	return db.admit
 }
+
+// EnableSpill installs a spill-run manager rooted at dir, turning memory
+// pressure into graceful degradation: queries whose buffering operators
+// cannot reserve budget write run files under dir instead of failing
+// with qctx.ErrMemoryBudget. threshold, when positive, makes SpillAuto
+// queries spill once their buffered bytes would cross it even while
+// under budget (the -spill-threshold flag). With admission enabled, the
+// memory pool also starts granting small pressure leases instead of
+// queuing when nearly exhausted, since lessees can now degrade.
+func (db *DB) EnableSpill(dir string, threshold int64) error {
+	m, err := spill.NewManager(dir)
+	if err != nil {
+		return err
+	}
+	db.spill = m
+	db.spillThreshold = threshold
+	if db.admit != nil {
+		db.admit.SetSpillBacked(true)
+	}
+	return nil
+}
+
+// SpillManager returns the installed spill manager, or nil.
+func (db *DB) SpillManager() *spill.Manager { return db.spill }
+
+// SpillStats snapshots cumulative spill activity (zero without spill).
+func (db *DB) SpillStats() spill.Stats { return db.spill.Stats() }
 
 // Admission returns the installed controller, or nil.
 func (db *DB) Admission() *admission.Controller { return db.admit }
@@ -224,6 +258,11 @@ type Options struct {
 	Timeout  time.Duration
 	MaxRows  int64
 	MaxBytes int64
+	// Spill selects this query's spill policy. SpillDefault resolves to
+	// SpillAuto when the DB has a spill manager (EnableSpill) and to
+	// SpillOff otherwise; without a manager every policy degrades to
+	// SpillOff — there is nowhere to write runs.
+	Spill qctx.SpillPolicy
 	// Cancel, when non-nil, cancels the query with qctx.ErrCanceled as
 	// soon as the channel is closed (e.g. Ctrl-C in the REPL).
 	Cancel <-chan struct{}
@@ -258,6 +297,7 @@ type Result struct {
 	Columns  []string
 	Rows     []storage.Tuple
 	Stats    storage.IOStats // page I/Os consumed by this query
+	Spill    spill.Stats     // spill runs/bytes written by this query
 	Strategy Strategy        // strategy requested
 	FellBack bool            // true if transformation fell back to nested iteration
 	Profile  classify.QueryProfile
@@ -322,10 +362,28 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 		}
 	}
 
-	// Lifecycle context: nil (all no-ops) unless a limit is configured.
+	// Resolve the spill policy: without a manager there is nowhere to
+	// write runs, so every policy degrades to off.
+	spillPolicy := opts.Spill
+	if db.spill == nil {
+		spillPolicy = qctx.SpillOff
+	} else if spillPolicy == qctx.SpillDefault {
+		spillPolicy = qctx.SpillAuto
+	}
+	spillThreshold := int64(0)
+	if spillPolicy == qctx.SpillAuto {
+		spillThreshold = db.spillThreshold
+	}
+
+	// Lifecycle context: nil (all no-ops) unless a limit is configured —
+	// or spilling needs the context's reservation bookkeeping (a forced
+	// policy, or an auto threshold without any hard budget).
 	var qc *qctx.QueryContext
-	if opts.governed() {
-		qc = qctx.New(qctx.Limits{Timeout: opts.Timeout, MaxRows: opts.MaxRows, MaxBytes: opts.MaxBytes})
+	if opts.governed() || spillPolicy == qctx.SpillForced || spillThreshold > 0 {
+		qc = qctx.New(qctx.Limits{
+			Timeout: opts.Timeout, MaxRows: opts.MaxRows, MaxBytes: opts.MaxBytes,
+			Spill: spillPolicy, SpillThreshold: spillThreshold,
+		})
 		defer qc.Finish()
 		// A drain cancels stragglers through the bound ticket.
 		opts.ticket.Bind(qc)
@@ -486,10 +544,26 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		popts.Sink = opts.stream.batch
 		popts.SinkBatchRows = opts.Sink.BatchRows
 	}
+	var qid int64
 	if popts.TempSuffix == "" {
 		// Namespace this query's TEMPn materializations in the shared
 		// store and catalog so concurrent queries cannot collide.
-		popts.TempSuffix = fmt.Sprintf("#q%d", db.qcount.Add(1))
+		qid = db.qcount.Add(1)
+		popts.TempSuffix = fmt.Sprintf("#q%d", qid)
+	}
+	// Spill session: run files share the query's namespace id and are
+	// always removed when this function returns — success, error, or
+	// contained panic alike.
+	var sess *spill.Session
+	if db.spill != nil {
+		if sp := qc.SpillPolicy(); sp == qctx.SpillAuto || sp == qctx.SpillForced {
+			if qid == 0 {
+				qid = db.qcount.Add(1)
+			}
+			sess = db.spill.NewSession(fmt.Sprintf("q%d", qid))
+			defer sess.Close()
+			popts.Spill = sess
+		}
 	}
 	// Circuit breaker: after repeated parallel-worker faults the parallel
 	// path is closed for a cooldown. Cost-gated parallel requests degrade
@@ -542,6 +616,30 @@ func (db *DB) runTransformed(qb *ast.QueryBlock, variant transform.Variant, opts
 		seq.Parallelism = 0
 		seq.ForceParallel = false
 		err = runPlan(seq)
+	}
+	if errors.Is(err, qctx.ErrMemoryBudget) && sess != nil &&
+		qc.SpillPolicy() == qctx.SpillAuto &&
+		!opts.stream.hasEmitted() && !opts.stream.sinkBroken() {
+		// The last degradation rung before failing: under SpillAuto an
+		// operator whose buffer merely FITS the budget keeps it resident
+		// and can starve a later charge that has no spill path (a temp
+		// table's partial-page buffer models real memory). Rerun once,
+		// sequentially, refusing every reservation — the resident set
+		// collapses to the irreducible page buffers, and the sequential
+		// spilled plan is deterministic, so results are unchanged.
+		qc.ResetUsage()
+		qc.ForceSpill()
+		res.Trace = append(res.Trace, fmt.Sprintf("memory budget exceeded (%v); retrying with forced spill", err))
+		seq := popts
+		seq.Parallelism = 0
+		seq.ForceParallel = false
+		err = runPlan(seq)
+	}
+	if sess != nil {
+		res.Spill = sess.Stats()
+		if res.Spill.Runs > 0 {
+			res.Trace = append(res.Trace, fmt.Sprintf("spill: %d run(s), %d bytes", res.Spill.Runs, res.Spill.Bytes))
+		}
 	}
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/qctx"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -27,10 +28,15 @@ type GroupAgg struct {
 	// child's sort order.
 	GroupCols []int
 	Items     []GroupItem
+	// QC, when set, charges the in-flight group's key and accumulator
+	// state against the memory budget. The operator is streaming — one
+	// group at a time — so the charge is small but honest.
+	QC *qctx.QueryContext
 
 	sch     RowSchema
 	curKey  []value.Value
 	accs    []*value.Accumulator
+	charged int64
 	started bool
 	eof     bool
 	emitted bool // at least one group emitted (for the global empty case)
@@ -46,7 +52,21 @@ func (g *GroupAgg) Open() error {
 		g.sch[i] = it.Out
 	}
 	g.curKey, g.accs = nil, nil
+	g.charged = 0
 	g.started, g.eof, g.emitted = false, false, false
+	return nil
+}
+
+// chargeGroup swaps the budget charge from the finished group to the one
+// keyed by key.
+func (g *GroupAgg) chargeGroup(key []value.Value) error {
+	g.QC.ReleaseBuffered(g.charged)
+	g.charged = 0
+	n := tupleBytes(storage.Tuple(key)) + 64*int64(len(g.Items))
+	if err := g.QC.AddBuffered(n); err != nil {
+		return err
+	}
+	g.charged = n
 	return nil
 }
 
@@ -138,6 +158,9 @@ func (g *GroupAgg) Next() (storage.Tuple, bool, error) {
 		if !g.started {
 			g.started = true
 			g.curKey, g.accs = key, g.newAccs()
+			if err := g.chargeGroup(key); err != nil {
+				return nil, false, err
+			}
 			if err := g.accumulate(t); err != nil {
 				return nil, false, err
 			}
@@ -152,6 +175,9 @@ func (g *GroupAgg) Next() (storage.Tuple, bool, error) {
 		// Group boundary: emit the finished group, start the new one.
 		out := g.emit()
 		g.curKey, g.accs = key, g.newAccs()
+		if err := g.chargeGroup(key); err != nil {
+			return nil, false, err
+		}
 		if err := g.accumulate(t); err != nil {
 			return nil, false, err
 		}
@@ -159,8 +185,12 @@ func (g *GroupAgg) Next() (storage.Tuple, bool, error) {
 	}
 }
 
-// Close closes the child.
-func (g *GroupAgg) Close() error { return g.Child.Close() }
+// Close releases the in-flight group's charge and closes the child.
+func (g *GroupAgg) Close() error {
+	g.QC.ReleaseBuffered(g.charged)
+	g.charged = 0
+	return g.Child.Close()
+}
 
 // Schema lists the configured output columns.
 func (g *GroupAgg) Schema() RowSchema {

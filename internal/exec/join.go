@@ -1,7 +1,11 @@
 package exec
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/qctx"
+	"repro/internal/spill"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -24,15 +28,27 @@ type MergeJoin struct {
 	LeftKey, RightKey int
 	Outer             bool
 	NullEq            bool
+	// QC, when set, charges the buffered right-side group against the
+	// memory budget — the sequential join's only unbounded buffer is a
+	// run of duplicate right keys.
+	QC *qctx.QueryContext
+	// Spill, when set, lets an over-budget group spill to a run file that
+	// is re-read once per duplicate left key instead of failing the query.
+	Spill *spill.Session
 
 	sch        RowSchema
 	rightWidth int
 
 	cur      storage.Tuple   // current left row, nil when exhausted/consumed
-	group    []storage.Tuple // right rows matching groupKey
+	group    []storage.Tuple // right rows matching groupKey (resident case)
 	groupKey value.Value
 	groupSet bool
 	gi       int
+
+	groupCharged int64         // bytes charged for group
+	groupRun     *spill.Run    // spilled group, nil when resident
+	groupRd      *spill.Reader // open scan of groupRun for the current left row
+	groupLen     int           // rows in the current group, resident or spilled
 
 	pendRight storage.Tuple // lookahead right row
 	rightEOF  bool
@@ -49,8 +65,25 @@ func (m *MergeJoin) Open() error {
 	m.sch = m.Left.Schema().Concat(m.Right.Schema())
 	m.rightWidth = len(m.Right.Schema())
 	m.cur, m.group, m.groupSet, m.gi = nil, nil, false, 0
+	m.groupCharged, m.groupRun, m.groupRd, m.groupLen = 0, nil, nil, 0
 	m.pendRight, m.rightEOF = nil, false
 	return nil
+}
+
+// dropGroup releases the current group's budget charge and spill state.
+func (m *MergeJoin) dropGroup() {
+	m.QC.ReleaseBuffered(m.groupCharged)
+	m.groupCharged = 0
+	m.group = m.group[:0]
+	if m.groupRd != nil {
+		m.groupRd.Close()
+		m.groupRd = nil
+	}
+	if m.groupRun != nil {
+		m.groupRun.Remove()
+		m.groupRun = nil
+	}
+	m.groupLen = 0
 }
 
 func (m *MergeJoin) nextRight() (storage.Tuple, bool, error) {
@@ -80,15 +113,22 @@ func (m *MergeJoin) loadGroup(key value.Value) error {
 	if m.groupSet && m.groupKey.Equal(key) {
 		return nil
 	}
-	m.group = m.group[:0]
+	m.dropGroup()
 	m.groupKey, m.groupSet = key, true
+	var wr *spill.Writer
+	fail := func(err error) error {
+		if wr != nil {
+			wr.Abort()
+		}
+		return err
+	}
 	for {
 		t, ok, err := m.nextRight()
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		if !ok {
-			return nil
+			break
 		}
 		rk := t[m.RightKey]
 		if rk.IsNull() && !m.NullEq {
@@ -96,17 +136,62 @@ func (m *MergeJoin) loadGroup(key value.Value) error {
 		}
 		c, err := value.TotalCompare(rk, key)
 		if err != nil {
-			return err // incomparable join keys: a per-query type error
+			return fail(err) // incomparable join keys: a per-query type error
 		}
 		if c < 0 {
 			continue // smaller keys can never match again
 		}
 		if c > 0 {
 			m.pendRight = t // beyond the group; keep for the next key
-			return nil
+			break
 		}
+		if wr != nil {
+			if err := wr.Append(t); err != nil {
+				return fail(err)
+			}
+			m.groupLen++
+			continue
+		}
+		n := tupleBytes(t)
+		if m.Spill.Enabled() && !m.QC.ReserveBuffered(n) {
+			// The group no longer fits: move what is buffered to a run
+			// file and divert the rest of the group there.
+			w2, werr := m.Spill.NewWriter()
+			if werr != nil {
+				return werr
+			}
+			wr = w2
+			for _, r := range m.group {
+				if err := wr.Append(r); err != nil {
+					return fail(err)
+				}
+			}
+			if err := wr.Append(t); err != nil {
+				return fail(err)
+			}
+			m.QC.ReleaseBuffered(m.groupCharged)
+			m.groupCharged = 0
+			m.group = m.group[:0]
+			m.groupLen++
+			continue
+		}
+		if !m.Spill.Enabled() {
+			if err := m.QC.AddBuffered(n); err != nil {
+				return err
+			}
+		}
+		m.groupCharged += n
 		m.group = append(m.group, t)
+		m.groupLen++
 	}
+	if wr != nil {
+		run, err := wr.Finish()
+		if err != nil {
+			return err
+		}
+		m.groupRun = run
+	}
+	return nil
 }
 
 func (m *MergeJoin) padRight(left storage.Tuple) storage.Tuple {
@@ -140,7 +225,7 @@ func (m *MergeJoin) Next() (storage.Tuple, bool, error) {
 		if err := m.loadGroup(key); err != nil {
 			return nil, false, err
 		}
-		if len(m.group) == 0 {
+		if m.groupLen == 0 {
 			left := m.cur
 			m.cur = nil
 			if m.Outer {
@@ -148,19 +233,47 @@ func (m *MergeJoin) Next() (storage.Tuple, bool, error) {
 			}
 			continue
 		}
+		var right storage.Tuple
+		if m.groupRun != nil {
+			// Spilled group: stream the run, re-opened once per left row
+			// with this key.
+			if m.groupRd == nil {
+				rd, err := m.groupRun.Open()
+				if err != nil {
+					return nil, false, err
+				}
+				m.groupRd = rd
+			}
+			t, err := m.groupRd.Next()
+			if err == io.EOF {
+				err = fmt.Errorf("merge join: spill group shorter than written: %w", qctx.ErrSpillCorrupt)
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			right = t
+		} else {
+			right = m.group[m.gi]
+		}
 		out := make(storage.Tuple, 0, len(m.cur)+m.rightWidth)
 		out = append(out, m.cur...)
-		out = append(out, m.group[m.gi]...)
+		out = append(out, right...)
 		m.gi++
-		if m.gi == len(m.group) {
+		if m.gi == m.groupLen {
+			if m.groupRd != nil {
+				m.groupRd.Close()
+				m.groupRd = nil
+			}
 			m.cur = nil
 		}
 		return out, true, nil
 	}
 }
 
-// Close closes both children.
+// Close releases the buffered group and closes both children.
 func (m *MergeJoin) Close() error {
+	m.dropGroup()
+	m.group = nil
 	err := m.Left.Close()
 	if err2 := m.Right.Close(); err == nil {
 		err = err2

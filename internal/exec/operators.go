@@ -188,6 +188,12 @@ func tuplesEqual(a, b storage.Tuple) bool {
 // — an error, or a panic (torn-write fault) unwinding through an append —
 // the temp file is dropped, so failed materializations leak nothing.
 func Materialize(op Operator, store *storage.Store, tuplesPerPage int) (*storage.HeapFile, error) {
+	return MaterializeBudget(op, store, tuplesPerPage, nil)
+}
+
+// MaterializeBudget is Materialize with the partial-page buffer charged
+// against qc's memory budget (see MaterializeIntoBudget).
+func MaterializeBudget(op Operator, store *storage.Store, tuplesPerPage int, qc *qctx.QueryContext) (*storage.HeapFile, error) {
 	f := store.CreateTemp(tuplesPerPage)
 	done := false
 	defer func() {
@@ -195,7 +201,7 @@ func Materialize(op Operator, store *storage.Store, tuplesPerPage int) (*storage
 			store.Drop(f.Name())
 		}
 	}()
-	if err := MaterializeInto(op, f); err != nil {
+	if err := MaterializeIntoBudget(op, f, qc); err != nil {
 		return nil, err
 	}
 	done = true
@@ -208,10 +214,23 @@ func Materialize(op Operator, store *storage.Store, tuplesPerPage int) (*storage
 // even when Open itself errors or panics; Operator.Close is required to
 // be safe in that state (see DESIGN.md, "Operator lifecycle contract").
 func MaterializeInto(op Operator, f *storage.HeapFile) error {
+	return MaterializeIntoBudget(op, f, nil)
+}
+
+// MaterializeIntoBudget is MaterializeInto with memory governance: the
+// tuples accumulating in the heap file's open page are charged against
+// qc's memory budget and released every time a page fills — heap pages
+// model disk, so only the partial-page working set counts as memory.
+// A nil qc means ungoverned.
+func MaterializeIntoBudget(op Operator, f *storage.HeapFile, qc *qctx.QueryContext) error {
 	defer op.Close()
 	if err := op.Open(); err != nil {
 		return err
 	}
+	var pageBytes int64
+	defer func() { qc.ReleaseBuffered(pageBytes) }()
+	tpp := f.TuplesPerPage()
+	count := 0
 	for {
 		t, ok, err := op.Next()
 		if err != nil {
@@ -220,7 +239,16 @@ func MaterializeInto(op Operator, f *storage.HeapFile) error {
 		if !ok {
 			break
 		}
+		if err := qc.AddBuffered(tupleBytes(t)); err != nil {
+			return err
+		}
+		pageBytes += tupleBytes(t)
 		f.Append(t)
+		count++
+		if tpp > 0 && count%tpp == 0 {
+			qc.ReleaseBuffered(pageBytes)
+			pageBytes = 0
+		}
 	}
 	f.Seal()
 	return nil

@@ -1,10 +1,13 @@
 package exec
 
 import (
+	"errors"
+	"io"
 	"runtime"
 	"sync"
 
 	"repro/internal/qctx"
+	"repro/internal/spill"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -212,11 +215,22 @@ type ParallelHashJoin struct {
 	// QC, when set, governs the build scan (cancellation + memory budget
 	// for the buffered build side) and is checked by every goroutine.
 	QC *qctx.QueryContext
+	// Spill, when set, enables Grace-style degradation: a build partition
+	// whose reservation is refused spills to a run file, its probe tuples
+	// are diverted to a probe run, and the pair is joined in a post-pass
+	// on the owning worker (recursively sub-partitioned if still too big).
+	Spill *spill.Session
 
 	sch        RowSchema
 	rightWidth int
 	buildParts [][]storage.Tuple
-	buildBytes int64 // bytes charged for buildParts, released in Close
+	buildBytes int64   // bytes charged for buildParts, released in Close
+	partBytes  []int64 // per-partition share of buildBytes
+	spilled    []bool  // partitions evicted to spill runs
+	buildWr    []*spill.Writer
+	buildRuns  []*spill.Run
+	probeWr    []*spill.Writer // written only by the distributor goroutine
+	probeRuns  []*spill.Run    // published before worker channels close
 }
 
 // NumWorkers reports the resolved worker count.
@@ -237,13 +251,19 @@ func (j *ParallelHashJoin) Open() error {
 	j.rightWidth = len(j.Right.Schema())
 	w := j.NumWorkers()
 	j.buildParts = make([][]storage.Tuple, w)
+	j.partBytes = make([]int64, w)
+	j.spilled = make([]bool, w)
+	j.buildWr = make([]*spill.Writer, w)
+	j.buildRuns = make([]*spill.Run, w)
+	j.probeWr = make([]*spill.Writer, w)
+	j.probeRuns = make([]*spill.Run, w)
 	for {
 		t, ok, err := j.Right.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return nil
+			break
 		}
 		if err := j.QC.Check(); err != nil {
 			return err
@@ -253,13 +273,89 @@ func (j *ParallelHashJoin) Open() error {
 			continue // NULL build keys can never match
 		}
 		n := tupleBytes(t)
-		if err := j.QC.AddBuffered(n); err != nil {
+		p := int(k.Hash() % uint64(w))
+		if j.spilled[p] {
+			if err := j.buildWr[p].Append(t); err != nil {
+				return err
+			}
+			continue
+		}
+		if !j.Spill.Enabled() {
+			if err := j.QC.AddBuffered(n); err != nil {
+				return err
+			}
+			j.buildBytes += n
+			j.partBytes[p] += n
+			j.buildParts[p] = append(j.buildParts[p], t)
+			continue
+		}
+		// Spill-capable path: reserve, and on refusal evict the largest
+		// resident partition to disk until the reservation fits or this
+		// tuple's own partition has spilled.
+		for !j.spilled[p] {
+			if j.QC.ReserveBuffered(n) {
+				j.buildBytes += n
+				j.partBytes[p] += n
+				j.buildParts[p] = append(j.buildParts[p], t)
+				break
+			}
+			if err := j.spillPartition(j.largestResident(p)); err != nil {
+				return err
+			}
+		}
+		if j.spilled[p] {
+			if err := j.buildWr[p].Append(t); err != nil {
+				return err
+			}
+		}
+	}
+	// Seal the build runs; probe runs are written during distribution.
+	for p, wr := range j.buildWr {
+		if wr == nil {
+			continue
+		}
+		run, err := wr.Finish()
+		j.buildWr[p] = nil
+		if err != nil {
 			return err
 		}
-		j.buildBytes += n
-		p := int(k.Hash() % uint64(w))
-		j.buildParts[p] = append(j.buildParts[p], t)
+		j.buildRuns[p] = run
 	}
+	return nil
+}
+
+// largestResident picks the spill victim: the resident partition holding
+// the most charged bytes (fallback, the requesting partition itself).
+func (j *ParallelHashJoin) largestResident(p int) int {
+	best := p
+	for i := range j.partBytes {
+		if !j.spilled[i] && j.partBytes[i] > j.partBytes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// spillPartition evicts one build partition: its tuples move to a fresh
+// run file, its budget charge is released, and all later build and probe
+// tuples for the partition divert to runs.
+func (j *ParallelHashJoin) spillPartition(p int) error {
+	wr, err := j.Spill.NewWriter()
+	if err != nil {
+		return err
+	}
+	j.buildWr[p] = wr
+	j.spilled[p] = true
+	for _, t := range j.buildParts[p] {
+		if err := wr.Append(t); err != nil {
+			return err
+		}
+	}
+	j.buildParts[p] = nil
+	j.QC.ReleaseBuffered(j.partBytes[p])
+	j.buildBytes -= j.partBytes[p]
+	j.partBytes[p] = 0
+	return nil
 }
 
 func (j *ParallelHashJoin) run(ex *exchange) {
@@ -318,12 +414,43 @@ func (j *ParallelHashJoin) distribute(ex *exchange, inputs []chan Morsel) {
 		if k := t[j.LeftKey]; j.NullEq || !k.IsNull() {
 			p = int(k.Hash() % uint64(w))
 		}
+		if j.spilled[p] {
+			// The build side of this partition lives on disk; divert its
+			// probe tuples to a probe run for the worker's post-pass.
+			if j.probeWr[p] == nil {
+				wr, err := j.Spill.NewWriter()
+				if err != nil {
+					ex.fail(err)
+					return
+				}
+				j.probeWr[p] = wr
+			}
+			if err := j.probeWr[p].Append(t); err != nil {
+				ex.fail(err)
+				return
+			}
+			continue
+		}
 		bufs[p] = append(bufs[p], t)
 		if len(bufs[p]) >= MorselSize {
 			if !flush(p) {
 				return
 			}
 		}
+	}
+	// Seal the probe runs before the deferred channel close publishes
+	// them to the workers (channel close is the happens-before edge).
+	for p, wr := range j.probeWr {
+		if wr == nil {
+			continue
+		}
+		run, err := wr.Finish()
+		j.probeWr[p] = nil
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		j.probeRuns[p] = run
 	}
 	for i := range bufs {
 		if !flush(i) {
@@ -385,16 +512,296 @@ func (j *ParallelHashJoin) worker(ex *exchange, id int, in <-chan Morsel) {
 			}
 		}
 	}
+	if j.spilled[id] {
+		// Post-pass: join this worker's spilled (build run, probe run)
+		// pair. The input channel is closed, so the distributor has
+		// sealed and published the probe run.
+		if err := j.joinSpilled(emit, j.buildRuns[id], j.probeRuns[id], 0); err != nil {
+			if err != errExchangeStopped {
+				ex.fail(err)
+			}
+			return
+		}
+		if j.buildRuns[id] != nil {
+			j.buildRuns[id].Remove()
+			j.buildRuns[id] = nil
+		}
+		if j.probeRuns[id] != nil {
+			j.probeRuns[id].Remove()
+			j.probeRuns[id] = nil
+		}
+	}
 	if len(out) > 0 {
 		ex.send(out)
 	}
 }
 
-// Close releases the build partitions and closes both children.
+// errExchangeStopped aborts spilled post-pass processing when the
+// consumer has closed the exchange; it is never surfaced to the query.
+var errExchangeStopped = errors.New("exchange stopped")
+
+// maxSpillDepth caps recursive sub-partitioning of spilled data. Splits
+// past this depth cannot help (e.g. one giant duplicate key), so the
+// data is hard-charged instead and the memory budget's typed error is
+// allowed to surface.
+const maxSpillDepth = 6
+
+// rehashSpill re-salts a key hash for sub-partitioning at the given
+// recursion depth, so each level cuts along an independent boundary.
+func rehashSpill(h uint64, depth int) uint64 {
+	h ^= uint64(depth+1) * 0x9E3779B97F4A7C15
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// reserveSpillDepth is the depth-aware reservation used while rebuilding
+// spilled data: under SpillForced (which refuses every reservation by
+// design) and at the recursion cap it hard-charges via AddBuffered, so
+// forced runs terminate and over-budget data surfaces ErrMemoryBudget.
+func reserveSpillDepth(qc *qctx.QueryContext, n int64, depth int) (bool, error) {
+	if qc.SpillPolicy() == qctx.SpillForced || depth >= maxSpillDepth {
+		return true, qc.AddBuffered(n)
+	}
+	return qc.ReserveBuffered(n), nil
+}
+
+// joinSpilled joins one spilled partition: it rebuilds the hash table
+// from the build run under reservation, streams the probe run against
+// it, and emits matches (padding unmatched probe rows when Outer). If
+// the build side still cannot be reserved, both runs are sub-partitioned
+// and joined recursively.
+func (j *ParallelHashJoin) joinSpilled(emit func(storage.Tuple) bool, br, pr *spill.Run, depth int) error {
+	if pr == nil || pr.Tuples == 0 {
+		// No probe rows reached this partition: inner and left-outer
+		// joins emit nothing (Outer pads probe rows, and there are none).
+		return nil
+	}
+	var charged int64
+	defer func() { j.QC.ReleaseBuffered(charged) }()
+	table := make(map[uint64][]storage.Tuple)
+	if br != nil && br.Tuples > 0 {
+		rd, err := br.Open()
+		if err != nil {
+			return err
+		}
+		for {
+			t, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rd.Close()
+				return err
+			}
+			if err := j.QC.Check(); err != nil {
+				rd.Close()
+				return err
+			}
+			n := tupleBytes(t)
+			ok, err := reserveSpillDepth(j.QC, n, depth)
+			if err != nil {
+				rd.Close()
+				return err
+			}
+			if !ok {
+				rd.Close()
+				j.QC.ReleaseBuffered(charged)
+				charged = 0
+				return j.splitSpilled(emit, br, pr, depth)
+			}
+			charged += n
+			h := t[j.RightKey].Hash()
+			table[h] = append(table[h], t)
+		}
+		if err := rd.Close(); err != nil {
+			return err
+		}
+	}
+	prd, err := pr.Open()
+	if err != nil {
+		return err
+	}
+	defer prd.Close()
+	for {
+		l, err := prd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := j.QC.Check(); err != nil {
+			return err
+		}
+		matched := false
+		if k := l[j.LeftKey]; j.NullEq || !k.IsNull() {
+			for _, r := range table[k.Hash()] {
+				if !r[j.RightKey].Equal(k) {
+					continue // hash collision
+				}
+				matched = true
+				row := make(storage.Tuple, 0, len(l)+j.rightWidth)
+				row = append(row, l...)
+				row = append(row, r...)
+				if !emit(row) {
+					return errExchangeStopped
+				}
+			}
+		}
+		if !matched && j.Outer {
+			row := make(storage.Tuple, 0, len(l)+j.rightWidth)
+			row = append(row, l...)
+			for range j.rightWidth {
+				row = append(row, value.Null)
+			}
+			if !emit(row) {
+				return errExchangeStopped
+			}
+		}
+	}
+}
+
+// splitSpilled sub-partitions a too-large spilled pair by a re-salted
+// hash and joins each sub-pair recursively.
+func (j *ParallelHashJoin) splitSpilled(emit func(storage.Tuple) bool, br, pr *spill.Run, depth int) error {
+	const fanout = 4
+	var subB, subP [fanout]*spill.Run
+	cleanup := func() {
+		for i := range fanout {
+			if subB[i] != nil {
+				subB[i].Remove()
+			}
+			if subP[i] != nil {
+				subP[i].Remove()
+			}
+		}
+	}
+	split := func(src *spill.Run, key int, dst *[fanout]*spill.Run) error {
+		wrs := make([]*spill.Writer, fanout)
+		abort := func() {
+			for _, wr := range wrs {
+				if wr != nil {
+					wr.Abort()
+				}
+			}
+		}
+		rd, err := src.Open()
+		if err != nil {
+			return err
+		}
+		for {
+			t, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rd.Close()
+				abort()
+				return err
+			}
+			if err := j.QC.Check(); err != nil {
+				rd.Close()
+				abort()
+				return err
+			}
+			b := int(rehashSpill(t[key].Hash(), depth) % fanout)
+			if wrs[b] == nil {
+				if wrs[b], err = j.Spill.NewWriter(); err != nil {
+					rd.Close()
+					abort()
+					return err
+				}
+			}
+			if err := wrs[b].Append(t); err != nil {
+				rd.Close()
+				abort()
+				return err
+			}
+		}
+		if err := rd.Close(); err != nil {
+			abort()
+			return err
+		}
+		for i, wr := range wrs {
+			if wr == nil {
+				continue
+			}
+			run, err := wr.Finish()
+			wrs[i] = nil
+			if err != nil {
+				abort()
+				return err
+			}
+			dst[i] = run
+		}
+		return nil
+	}
+	if br != nil {
+		if err := split(br, j.RightKey, &subB); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := split(pr, j.LeftKey, &subP); err != nil {
+		cleanup()
+		return err
+	}
+	// The parents are fully rewritten into the children; drop them now so
+	// peak disk stays proportional to one level of the recursion.
+	if br != nil {
+		br.Remove()
+	}
+	pr.Remove()
+	for i := range fanout {
+		if err := j.joinSpilled(emit, subB[i], subP[i], depth+1); err != nil {
+			cleanup()
+			return err
+		}
+		if subB[i] != nil {
+			subB[i].Remove()
+			subB[i] = nil
+		}
+		if subP[i] != nil {
+			subP[i].Remove()
+			subP[i] = nil
+		}
+	}
+	return nil
+}
+
+// Close releases the build partitions, drops any spill state the workers
+// did not consume (error and early-close paths), and closes both
+// children. It runs after ExchangeMerge has joined every goroutine, so
+// touching the writer and run slices is race-free.
 func (j *ParallelHashJoin) Close() error {
 	j.buildParts = nil
 	j.QC.ReleaseBuffered(j.buildBytes)
 	j.buildBytes = 0
+	for i := range j.buildWr {
+		if j.buildWr[i] != nil {
+			j.buildWr[i].Abort()
+			j.buildWr[i] = nil
+		}
+	}
+	for i := range j.probeWr {
+		if j.probeWr[i] != nil {
+			j.probeWr[i].Abort()
+			j.probeWr[i] = nil
+		}
+	}
+	for i := range j.buildRuns {
+		if j.buildRuns[i] != nil {
+			j.buildRuns[i].Remove()
+			j.buildRuns[i] = nil
+		}
+	}
+	for i := range j.probeRuns {
+		if j.probeRuns[i] != nil {
+			j.probeRuns[i].Remove()
+			j.probeRuns[i] = nil
+		}
+	}
 	err := j.Left.Close()
 	if err2 := j.Right.Close(); err == nil {
 		err = err2
@@ -434,6 +841,11 @@ type ParallelHashGroup struct {
 	// QC, when set, governs cancellation and charges buffered group state
 	// against the memory budget.
 	QC *qctx.QueryContext
+	// Spill, when set, enables hybrid aggregation: once a worker's group
+	// table cannot grow, rows for unseen keys are diverted to a spill run
+	// (resident keys keep accumulating) and the run is aggregated in
+	// recursive passes after the input drains.
+	Spill *spill.Session
 
 	sch RowSchema
 }
@@ -531,24 +943,84 @@ func (g *ParallelHashGroup) distribute(ex *exchange, inputs []chan Morsel) {
 	}
 }
 
+// newGroupState allocates one group's accumulators and appends it to the
+// emission order.
+func (g *ParallelHashGroup) newGroupState(key []value.Value, order *[]*groupState) *groupState {
+	accs := make([]*value.Accumulator, len(g.Items))
+	for i, it := range g.Items {
+		if it.Agg != value.AggNone {
+			accs[i] = value.NewAccumulator(it.Agg)
+		}
+	}
+	gs := &groupState{key: key, accs: accs}
+	*order = append(*order, gs)
+	return gs
+}
+
+// lookupGroup finds the state for t's key in groups, returning the key
+// and hash for insertion when absent.
+func (g *ParallelHashGroup) lookupGroup(groups map[uint64][]*groupState, t storage.Tuple) (*groupState, []value.Value, uint64) {
+	key := make([]value.Value, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		key[i] = t[c]
+	}
+	h := g.keyHash(t)
+	for _, cand := range groups[h] {
+		if sameKey(cand.key, key) {
+			return cand, key, h
+		}
+	}
+	return nil, key, h
+}
+
+// accumulate folds one input row into its group's accumulators.
+func (g *ParallelHashGroup) accumulate(gs *groupState, t storage.Tuple) error {
+	for i, it := range g.Items {
+		if it.Agg == value.AggNone {
+			continue
+		}
+		v := value.NewInt(1)
+		if it.Agg != value.AggCountStar {
+			v = t[it.Col]
+		}
+		if err := gs.accs[i].Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupRow renders one finished group as an output row.
+func (g *ParallelHashGroup) groupRow(gs *groupState) storage.Tuple {
+	row := make(storage.Tuple, len(g.Items))
+	for i, it := range g.Items {
+		if it.Agg == value.AggNone {
+			for jdx, gc := range g.GroupCols {
+				if gc == it.Col {
+					row[i] = gs.key[jdx]
+					break
+				}
+			}
+		} else {
+			row[i] = gs.accs[i].Result()
+		}
+	}
+	return row
+}
+
 func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 	defer ex.wg.Done()
 	var charged int64
 	defer func() { g.QC.ReleaseBuffered(charged) }()
-	defer ex.guard(in) // runs first: recover + drain, then release, then Done
+	var spillWr *spill.Writer
+	defer func() {
+		if spillWr != nil {
+			spillWr.Abort()
+		}
+	}()
+	defer ex.guard(in) // runs first: recover + drain, then cleanup, then Done
 	groups := make(map[uint64][]*groupState)
 	var order []*groupState
-	newState := func(key []value.Value) *groupState {
-		accs := make([]*value.Accumulator, len(g.Items))
-		for i, it := range g.Items {
-			if it.Agg != value.AggNone {
-				accs[i] = value.NewAccumulator(it.Agg)
-			}
-		}
-		gs := &groupState{key: key, accs: accs}
-		order = append(order, gs)
-		return gs
-	}
 	// drainFail records err and keeps consuming input so the distributor
 	// is never left blocked on this worker's full channel.
 	drainFail := func(err error) {
@@ -556,80 +1028,188 @@ func (g *ParallelHashGroup) worker(ex *exchange, id int, in <-chan Morsel) {
 		for range in {
 		}
 	}
+	spilling := false
 	for m := range in {
 		if err := g.QC.Check(); err != nil {
 			drainFail(err)
 			return
 		}
 		for _, t := range m {
-			key := make([]value.Value, len(g.GroupCols))
-			for i, c := range g.GroupCols {
-				key[i] = t[c]
-			}
-			h := g.keyHash(t)
-			var gs *groupState
-			for _, cand := range groups[h] {
-				if sameKey(cand.key, key) {
-					gs = cand
-					break
-				}
-			}
+			gs, key, h := g.lookupGroup(groups, t)
 			if gs == nil {
-				gs = newState(key)
-				groups[h] = append(groups[h], gs)
+				if spilling {
+					// Hybrid aggregation: no new keys once the table is
+					// frozen; their raw rows go to the spill run. Rows for
+					// resident keys keep accumulating in memory, so run
+					// keys and resident keys stay disjoint.
+					if err := spillWr.Append(t); err != nil {
+						drainFail(err)
+						return
+					}
+					continue
+				}
 				// Each live group buffers its key plus accumulator state.
 				n := tupleBytes(storage.Tuple(key)) + 64*int64(len(g.Items))
-				if err := g.QC.AddBuffered(n); err != nil {
+				if g.Spill.Enabled() {
+					if !g.QC.ReserveBuffered(n) {
+						wr, err := g.Spill.NewWriter()
+						if err != nil {
+							drainFail(err)
+							return
+						}
+						spillWr = wr
+						spilling = true
+						if err := spillWr.Append(t); err != nil {
+							drainFail(err)
+							return
+						}
+						continue
+					}
+				} else if err := g.QC.AddBuffered(n); err != nil {
 					drainFail(err)
 					return
 				}
 				charged += n
+				gs = g.newGroupState(key, &order)
+				groups[h] = append(groups[h], gs)
 			}
-			for i, it := range g.Items {
-				if it.Agg == value.AggNone {
-					continue
-				}
-				v := value.NewInt(1)
-				if it.Agg != value.AggCountStar {
-					v = t[it.Col]
-				}
-				if err := gs.accs[i].Add(v); err != nil {
-					drainFail(err)
-					return
-				}
-			}
-		}
-	}
-	if id == 0 && len(g.GroupCols) == 0 && len(order) == 0 {
-		// Global aggregate over empty input: one row, COUNT = 0.
-		newState(nil)
-	}
-	var out Morsel
-	for _, gs := range order {
-		row := make(storage.Tuple, len(g.Items))
-		for i, it := range g.Items {
-			if it.Agg == value.AggNone {
-				for jdx, gc := range g.GroupCols {
-					if gc == it.Col {
-						row[i] = gs.key[jdx]
-						break
-					}
-				}
-			} else {
-				row[i] = gs.accs[i].Result()
-			}
-		}
-		out = append(out, row)
-		if len(out) >= MorselSize {
-			if !ex.send(out) {
+			if err := g.accumulate(gs, t); err != nil {
+				drainFail(err)
 				return
 			}
+		}
+	}
+	if id == 0 && len(g.GroupCols) == 0 && len(order) == 0 && !spilling {
+		// Global aggregate over empty input: one row, COUNT = 0.
+		g.newGroupState(nil, &order)
+	}
+	var out Morsel
+	emit := func(row storage.Tuple) bool {
+		out = append(out, row)
+		if len(out) >= MorselSize {
+			m := out
 			out = nil
+			return ex.send(m)
+		}
+		return true
+	}
+	for _, gs := range order {
+		if !emit(g.groupRow(gs)) {
+			return
+		}
+	}
+	if spilling {
+		run, err := spillWr.Finish()
+		spillWr = nil
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		// The resident groups are emitted; release their charge so the
+		// recursive passes get the budget back.
+		g.QC.ReleaseBuffered(charged)
+		charged = 0
+		if err := g.groupSpilled(emit, run, 1); err != nil {
+			if err != errExchangeStopped {
+				ex.fail(err)
+			}
+			return
 		}
 	}
 	if len(out) > 0 {
 		ex.send(out)
 	}
+}
+
+// groupSpilled aggregates one spill run of raw input rows: it admits as
+// many groups as the budget allows, diverts rows of unadmitted keys to a
+// next-level run, emits the finished groups, and recurses. The first key
+// of every level is hard-charged (and forced/capped levels hard-charge
+// everything), so each pass strictly shrinks the key set and the
+// recursion terminates — or surfaces ErrMemoryBudget if the data truly
+// cannot fit.
+func (g *ParallelHashGroup) groupSpilled(emit func(storage.Tuple) bool, run *spill.Run, depth int) error {
+	var charged int64
+	defer func() { g.QC.ReleaseBuffered(charged) }()
+	var nextWr *spill.Writer
+	defer func() {
+		if nextWr != nil {
+			nextWr.Abort()
+		}
+	}()
+	groups := make(map[uint64][]*groupState)
+	var order []*groupState
+	rd, err := run.Open()
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rd.Close()
+			return err
+		}
+		if err := g.QC.Check(); err != nil {
+			rd.Close()
+			return err
+		}
+		gs, key, h := g.lookupGroup(groups, t)
+		if gs == nil {
+			n := tupleBytes(storage.Tuple(key)) + 64*int64(len(g.Items))
+			ok, rerr := reserveSpillDepth(g.QC, n, depth)
+			if rerr == nil && !ok && len(order) == 0 {
+				// Progress guarantee: admit at least one group per level.
+				ok, rerr = true, g.QC.AddBuffered(n)
+			}
+			if rerr != nil {
+				rd.Close()
+				return rerr
+			}
+			if !ok {
+				if nextWr == nil {
+					if nextWr, err = g.Spill.NewWriter(); err != nil {
+						rd.Close()
+						return err
+					}
+				}
+				if err := nextWr.Append(t); err != nil {
+					rd.Close()
+					return err
+				}
+				continue
+			}
+			charged += n
+			gs = g.newGroupState(key, &order)
+			groups[h] = append(groups[h], gs)
+		}
+		if err := g.accumulate(gs, t); err != nil {
+			rd.Close()
+			return err
+		}
+	}
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	run.Remove()
+	for _, gs := range order {
+		if !emit(g.groupRow(gs)) {
+			return errExchangeStopped
+		}
+	}
+	if nextWr == nil {
+		return nil
+	}
+	next, err := nextWr.Finish()
+	nextWr = nil
+	if err != nil {
+		return err
+	}
+	g.QC.ReleaseBuffered(charged)
+	charged = 0
+	return g.groupSpilled(emit, next, depth+1)
 }
 
 // Close closes the child.

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"io"
 	"sort"
 
 	"repro/internal/qctx"
+	"repro/internal/spill"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -15,6 +17,14 @@ import (
 // owns its buffers — so measured I/O follows the model rather than LRU
 // caching. An input that fits entirely in B pages sorts in memory with no
 // I/O beyond the child's own reads.
+//
+// Under memory pressure (a refused qctx reservation) with a spill
+// session attached, the in-memory buffer is cut short and written as a
+// checksummed spill run on real disk instead of failing the query with
+// ErrMemoryBudget; from then on every initial run spills. Heap-file
+// runs and spill runs are kept in creation order and merged together,
+// so the output is byte-identical to the unspilled sort (the merge is
+// stable: ties resolve to the earliest run).
 //
 // NULLs sort first and compare equal to each other, so a Sort feeds both
 // Distinct and GroupAgg directly.
@@ -33,16 +43,30 @@ type Sort struct {
 	// QC, when set, is checked while draining the child and merging runs,
 	// and charged for tuples buffered in memory.
 	QC *qctx.QueryContext
+	// Spill, when set, enables degradation to spill runs instead of
+	// ErrMemoryBudget when a buffer reservation is refused.
+	Spill *spill.Session
 
-	mem     []storage.Tuple     // in-memory result when input fits in B pages
-	runFile *storage.HeapFile   // final run otherwise
-	runs    []*storage.HeapFile // intermediate runs pending cleanup
-	pos     int                 // cursor into mem
-	pageIdx int                 // cursor into runFile
-	tuples  []storage.Tuple
-	tupIdx  int
-	cmpErr  error // first key-comparison type error, surfaced by Open
-	charged int64 // bytes currently charged against the memory budget
+	mem        []storage.Tuple // in-memory result when input fits in B pages
+	runs       []sortRun       // initial/merged runs in creation order
+	final      sortRun         // the single fully-merged run
+	haveFinal  bool
+	finalRd    *spill.Reader // streaming cursor when final is a spill run
+	pos        int           // cursor into mem
+	pageIdx    int           // cursor into a heap-file final run
+	tuples     []storage.Tuple
+	tupIdx     int
+	cmpErr     error // first key-comparison type error, surfaced by Open
+	charged    int64 // bytes currently charged against the memory budget
+	spillMode  bool  // a reservation was refused; all new runs spill
+	spillBatch int   // tuples per spill run once in spill mode
+}
+
+// sortRun is one sorted run, on the paged heap "disk" or in a spill
+// file. Exactly one field is set.
+type sortRun struct {
+	heap *storage.HeapFile
+	sp   *spill.Run
 }
 
 func (s *Sort) less(a, b storage.Tuple) bool {
@@ -72,9 +96,10 @@ func (s *Sort) Open() error {
 		return err
 	}
 	defer s.Child.Close()
-	s.mem, s.runFile, s.runs = nil, nil, nil
+	s.mem, s.runs = nil, nil
+	s.final, s.haveFinal, s.finalRd = sortRun{}, false, nil
 	s.pos, s.pageIdx, s.tupIdx, s.tuples = 0, 0, 0, nil
-	s.cmpErr, s.charged = nil, 0
+	s.cmpErr, s.charged, s.spillMode = nil, 0, false
 
 	tpp := s.TuplesPerPage
 	if tpp <= 0 {
@@ -85,10 +110,17 @@ func (s *Sort) Open() error {
 		b = 3 // a merge sort needs at least two inputs and one output frame
 	}
 	runCap := b * tpp
+	// Once spilling, cut runs at a morsel of tuples: small enough that
+	// the uncharged slack between flushes stays bounded, large enough to
+	// amortize file creation.
+	s.spillBatch = MorselSize
+	if runCap < s.spillBatch {
+		s.spillBatch = runCap
+	}
 
 	var buf []storage.Tuple
 	var bufBytes int64
-	flush := func() {
+	flushHeap := func() {
 		if len(buf) == 0 {
 			return
 		}
@@ -96,7 +128,7 @@ func (s *Sort) Open() error {
 		f := s.Store.CreateTemp(tpp)
 		// Register for cleanup before filling: an append that panics (torn
 		// write) must leave the half-written run where Close can drop it.
-		s.runs = append(s.runs, f)
+		s.runs = append(s.runs, sortRun{heap: f})
 		for _, t := range buf {
 			f.Append(t)
 		}
@@ -108,6 +140,25 @@ func (s *Sort) Open() error {
 		s.QC.ReleaseBuffered(bufBytes)
 		s.charged -= bufBytes
 		bufBytes = 0
+	}
+	flushSpill := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		if s.cmpErr != nil {
+			return s.cmpErr
+		}
+		run, err := s.writeSpillRun(buf)
+		if err != nil {
+			return err
+		}
+		s.runs = append(s.runs, sortRun{sp: run})
+		buf = nil
+		s.QC.ReleaseBuffered(bufBytes)
+		s.charged -= bufBytes
+		bufBytes = 0
+		return nil
 	}
 
 	for {
@@ -122,14 +173,36 @@ func (s *Sort) Open() error {
 			return err
 		}
 		n := tupleBytes(t)
-		if err := s.QC.AddBuffered(n); err != nil {
+		if s.spillMode {
+			// Tuples between spill flushes ride uncharged; the batch cap
+			// bounds the slack to one morsel.
+			buf = append(buf, t)
+			if len(buf) >= s.spillBatch {
+				if err := flushSpill(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if s.Spill.Enabled() && s.QC != nil {
+			if !s.QC.ReserveBuffered(n) {
+				// Memory pressure: spill what is buffered (plus this
+				// uncharged tuple) and degrade to spill runs from here on.
+				s.spillMode = true
+				buf = append(buf, t)
+				if err := flushSpill(); err != nil {
+					return err
+				}
+				continue
+			}
+		} else if err := s.QC.AddBuffered(n); err != nil {
 			return err
 		}
 		s.charged += n
 		bufBytes += n
 		buf = append(buf, t)
 		if len(buf) == runCap {
-			flush()
+			flushHeap()
 			if s.cmpErr != nil {
 				return s.cmpErr
 			}
@@ -145,14 +218,21 @@ func (s *Sort) Open() error {
 		s.mem = buf
 		return nil
 	}
-	flush()
+	if s.spillMode {
+		if err := flushSpill(); err != nil {
+			return err
+		}
+	} else {
+		flushHeap()
+	}
 	if s.cmpErr != nil {
 		return s.cmpErr
 	}
 
-	// Merge passes, B-1 runs at a time.
+	// Merge passes, B-1 runs at a time, over adjacent runs in creation
+	// order (stability: earlier runs hold earlier input rows).
 	for len(s.runs) > 1 {
-		var next []*storage.HeapFile
+		var next []sortRun
 		for i := 0; i < len(s.runs); i += b - 1 {
 			j := min(i+b-1, len(s.runs))
 			merged, err := s.mergeRuns(s.runs[i:j], tpp)
@@ -173,18 +253,52 @@ func (s *Sort) Open() error {
 				}
 			}
 			if !found {
-				s.Store.Drop(r.Name())
+				s.dropRun(r)
 			}
 		}
 		s.runs = next
 	}
-	s.runFile = s.runs[0]
+	s.final, s.haveFinal = s.runs[0], true
+	if s.final.sp != nil {
+		rd, err := s.final.sp.Open()
+		if err != nil {
+			return err
+		}
+		s.finalRd = rd
+	}
 	return nil
 }
 
-// runCursor reads one run sequentially with direct (always-counted) I/O.
+// writeSpillRun sorts and writes one buffer as a checksummed spill run.
+func (s *Sort) writeSpillRun(buf []storage.Tuple) (*spill.Run, error) {
+	w, err := s.Spill.NewWriter()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range buf {
+		if err := w.Append(t); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+func (s *Sort) dropRun(r sortRun) {
+	if r.heap != nil {
+		s.Store.Drop(r.heap.Name())
+	}
+	if r.sp != nil {
+		r.sp.Remove()
+	}
+}
+
+// runCursor reads one run sequentially: heap runs with direct
+// (always-counted) page I/O, spill runs through a checksum-verifying
+// reader.
 type runCursor struct {
 	file    *storage.HeapFile
+	rd      *spill.Reader
 	pageIdx int
 	tuples  []storage.Tuple
 	tupIdx  int
@@ -192,11 +306,35 @@ type runCursor struct {
 	done    bool
 }
 
-func (c *runCursor) advance() {
+func newRunCursor(r sortRun) (*runCursor, error) {
+	c := &runCursor{file: r.heap}
+	if r.sp != nil {
+		rd, err := r.sp.Open()
+		if err != nil {
+			return nil, err
+		}
+		c.rd = rd
+	}
+	return c, nil
+}
+
+func (c *runCursor) advance() error {
+	if c.rd != nil {
+		t, err := c.rd.Next()
+		if err == io.EOF {
+			c.cur, c.done = nil, true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.cur = t
+		return nil
+	}
 	for c.tupIdx >= len(c.tuples) {
 		if c.pageIdx >= c.file.NumPages() {
 			c.cur, c.done = nil, true
-			return
+			return nil
 		}
 		c.tuples = c.file.ReadPageDirect(c.pageIdx)
 		c.pageIdx++
@@ -204,31 +342,70 @@ func (c *runCursor) advance() {
 	}
 	c.cur = c.tuples[c.tupIdx]
 	c.tupIdx++
+	return nil
 }
 
-// mergeRuns merges sorted runs into a single new run. On error the
-// partial output file is dropped before returning.
-func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) (*storage.HeapFile, error) {
+func (c *runCursor) close() {
+	if c.rd != nil {
+		c.rd.Close()
+	}
+}
+
+// mergeRuns merges sorted runs into a single new run — a heap temp
+// normally, a spill run once the sort is in spill mode. On error the
+// partial output is dropped before returning.
+func (s *Sort) mergeRuns(runs []sortRun, tpp int) (sortRun, error) {
 	if len(runs) == 1 {
 		return runs[0], nil
 	}
 	cursors := make([]*runCursor, len(runs))
+	defer func() {
+		for _, c := range cursors {
+			if c != nil {
+				c.close()
+			}
+		}
+	}()
 	for i, r := range runs {
-		cursors[i] = &runCursor{file: r}
-		cursors[i].advance()
+		c, err := newRunCursor(r)
+		if err != nil {
+			return sortRun{}, err
+		}
+		cursors[i] = c
+		if err := c.advance(); err != nil {
+			return sortRun{}, err
+		}
 	}
-	out := s.Store.CreateTemp(tpp)
+
+	var outHeap *storage.HeapFile
+	var outSpill *spill.Writer
+	if s.spillMode {
+		w, err := s.Spill.NewWriter()
+		if err != nil {
+			return sortRun{}, err
+		}
+		outSpill = w
+	} else {
+		outHeap = s.Store.CreateTemp(tpp)
+	}
 	done := false
 	// Drop the partial output on any failure — error return or a panic
-	// unwinding through an append (Store.Drop is idempotent).
+	// unwinding through an append (Store.Drop is idempotent; the spill
+	// session removes aborted files too).
 	defer func() {
-		if !done {
-			s.Store.Drop(out.Name())
+		if done {
+			return
+		}
+		if outHeap != nil {
+			s.Store.Drop(outHeap.Name())
+		}
+		if outSpill != nil {
+			outSpill.Abort()
 		}
 	}()
 	for {
 		if err := s.QC.Check(); err != nil {
-			return nil, err
+			return sortRun{}, err
 		}
 		best := -1
 		for i, c := range cursors {
@@ -240,22 +417,39 @@ func (s *Sort) mergeRuns(runs []*storage.HeapFile, tpp int) (*storage.HeapFile, 
 			}
 		}
 		if s.cmpErr != nil {
-			return nil, s.cmpErr
+			return sortRun{}, s.cmpErr
 		}
 		if best < 0 {
 			break
 		}
-		out.Append(cursors[best].cur)
-		cursors[best].advance()
+		if outSpill != nil {
+			if err := outSpill.Append(cursors[best].cur); err != nil {
+				return sortRun{}, err
+			}
+		} else {
+			outHeap.Append(cursors[best].cur)
+		}
+		if err := cursors[best].advance(); err != nil {
+			return sortRun{}, err
+		}
 	}
-	out.Seal()
+	if outSpill != nil {
+		run, err := outSpill.Finish()
+		if err != nil {
+			return sortRun{}, err
+		}
+		outSpill = nil // Finished: the deferred Abort must not fire.
+		done = true
+		return sortRun{sp: run}, nil
+	}
+	outHeap.Seal()
 	done = true
-	return out, nil
+	return sortRun{heap: outHeap}, nil
 }
 
 // Next streams the sorted rows.
 func (s *Sort) Next() (storage.Tuple, bool, error) {
-	if s.runFile == nil {
+	if !s.haveFinal {
 		if s.pos >= len(s.mem) {
 			return nil, false, nil
 		}
@@ -263,11 +457,21 @@ func (s *Sort) Next() (storage.Tuple, bool, error) {
 		s.pos++
 		return t, true, nil
 	}
-	for s.tupIdx >= len(s.tuples) {
-		if s.pageIdx >= s.runFile.NumPages() {
+	if s.finalRd != nil {
+		t, err := s.finalRd.Next()
+		if err == io.EOF {
 			return nil, false, nil
 		}
-		s.tuples = s.runFile.ReadPageDirect(s.pageIdx)
+		if err != nil {
+			return nil, false, err
+		}
+		return t, true, nil
+	}
+	for s.tupIdx >= len(s.tuples) {
+		if s.pageIdx >= s.final.heap.NumPages() {
+			return nil, false, nil
+		}
+		s.tuples = s.final.heap.ReadPageDirect(s.pageIdx)
 		s.pageIdx++
 		s.tupIdx = 0
 	}
@@ -279,10 +483,15 @@ func (s *Sort) Next() (storage.Tuple, bool, error) {
 // Close drops the remaining run files and returns any buffered-byte
 // charge. It is safe to call before Open and more than once.
 func (s *Sort) Close() error {
-	for _, r := range s.runs {
-		s.Store.Drop(r.Name())
+	if s.finalRd != nil {
+		s.finalRd.Close()
+		s.finalRd = nil
 	}
-	s.runs, s.runFile, s.mem = nil, nil, nil
+	for _, r := range s.runs {
+		s.dropRun(r)
+	}
+	s.runs, s.mem = nil, nil
+	s.final, s.haveFinal = sortRun{}, false
 	s.QC.ReleaseBuffered(s.charged)
 	s.charged = 0
 	return nil

@@ -98,6 +98,47 @@ func TestMetamorphFaults(t *testing.T) {
 	t.Logf("pairs=%d queries=%d faultSkips=%d", st.Pairs, st.Queries, st.FaultSkips)
 }
 
+// TestMetamorphTightMemory is the tight-memory regime gate: a fixed-seed
+// corpus where every query additionally runs with all memory
+// reservations refused, pushing each sort, join group, and aggregate
+// through checksummed spill runs. Relations must still hold, forced-spill
+// results must bag-match the in-memory regime, every scenario must
+// actually spill (no silent no-spill pass), and no run files may outlive
+// their scenario.
+func TestMetamorphTightMemory(t *testing.T) {
+	gen := NewGenerator(Config{Seed: shortSeed + 2, Scenarios: 4, PairsPerScenario: 10})
+	spillDir := filepath.Join(t.TempDir(), "spill")
+	r, err := NewRunner(RunnerConfig{
+		TightMemory: true,
+		SpillDir:    spillDir,
+		Shrink:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var vs []Violation
+	prevRuns := int64(0)
+	for id := 0; id < gen.Scenarios(); id++ {
+		out, err := r.RunScenario(gen.Scenario(id))
+		if err != nil {
+			t.Fatalf("scenario %d: %v", id, err)
+		}
+		vs = append(vs, out...)
+		st := r.Stats()
+		if st.SpillRuns == prevRuns {
+			t.Errorf("scenario %d: tight-memory regime wrote no spill runs — the gate exercised nothing", id)
+		}
+		prevRuns = st.SpillRuns
+		if n, err := r.db.SpillManager().LiveFiles(); err != nil || n != 0 {
+			t.Fatalf("scenario %d: %d spill file(s) left behind (err %v)", id, n, err)
+		}
+	}
+	reportViolations(t, vs)
+	st := r.Stats()
+	t.Logf("pairs=%d queries=%d spillRuns=%d", st.Pairs, st.Queries, st.SpillRuns)
+}
+
 // TestMetamorphCatchesKimMutant proves the oracle has teeth: pointing
 // the runner at Kim's original NEST-JA (the deliberately retained
 // COUNT-bug strategy) must surface a violation within the short gate's

@@ -21,10 +21,11 @@ import (
 // query of the pair; the oracle relation must hold within each regime,
 // and each query must agree with itself across regimes.
 const (
-	RegimeSeq = "seq" // the strategy under test, sequential
-	RegimePar = "par" // the same strategy through the parallel executor
-	RegimeNI  = "ni"  // nested iteration, the semantic ground truth
-	RegimeNet = "net" // the strategy under test through a live server
+	RegimeSeq   = "seq"   // the strategy under test, sequential
+	RegimePar   = "par"   // the same strategy through the parallel executor
+	RegimeNI    = "ni"    // nested iteration, the semantic ground truth
+	RegimeNet   = "net"   // the strategy under test through a live server
+	RegimeTight = "tight" // the same strategy with every buffer forced to spill runs
 )
 
 // RunnerConfig configures a Runner.
@@ -49,6 +50,14 @@ type RunnerConfig struct {
 	// duration of each scenario. Queries lost to injected faults are
 	// skipped, not failed.
 	Faults *storage.FaultConfig
+	// TightMemory additionally runs every query under forced spilling
+	// (with sort-merge joins forced so every plan has buffering
+	// operators): all spillable state goes through checksummed run
+	// files, and results must still agree with the sequential regime.
+	// Requires SpillDir.
+	TightMemory bool
+	// SpillDir roots the tight-memory regime's spill run files.
+	SpillDir string
 	// BufferPages sizes the engine's buffer pool (0 = 64).
 	BufferPages int
 	// Shrink minimizes failing scenarios before reporting them.
@@ -85,7 +94,10 @@ type Stats struct {
 	// FaultSkips counts query executions lost to injected storage or
 	// network faults.
 	FaultSkips int
-	Elapsed    time.Duration
+	// SpillRuns counts spill run files written by the tight-memory
+	// regime — the "no silent no-spill pass" teeth check.
+	SpillRuns int64
+	Elapsed   time.Duration
 }
 
 // Violation is one relation or cross-regime check that failed.
@@ -137,6 +149,14 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 	}
 	r := &Runner{cfg: cfg, db: engine.New(pages), start: time.Now()}
 	r.stats.Relations = make(map[string]int)
+	if cfg.TightMemory {
+		if cfg.SpillDir == "" {
+			return nil, errors.New("metamorph: TightMemory requires SpillDir")
+		}
+		if err := r.db.EnableSpill(cfg.SpillDir, 0); err != nil {
+			return nil, err
+		}
+	}
 	if !cfg.Network {
 		return r, nil
 	}
@@ -241,13 +261,20 @@ func (r *Runner) runQuery(sql, regime string) (runResult, error) {
 			return runResult{}, fmt.Errorf("network query failed: %w\n  query: %s", err, sql)
 		}
 		return runResult{rows: res.Rows}, nil
-	case RegimeSeq, RegimePar, RegimeNI:
+	case RegimeSeq, RegimePar, RegimeNI, RegimeTight:
 		opts := engine.Options{Strategy: r.cfg.underTest()}
 		if regime == RegimeNI {
 			opts.Strategy = engine.NestedIteration
 		}
 		if regime == RegimePar {
 			opts.Planner = planner.Options{Parallelism: 2, ForceParallel: true}
+		}
+		if regime == RegimeTight {
+			// Refuse every memory reservation and force sort-merge joins,
+			// so every plan with a join or aggregate pushes its buffers
+			// through checksummed spill runs.
+			opts.Spill = qctx.SpillForced
+			opts.Planner = planner.Options{TempJoin: planner.JoinMerge, FinalJoin: planner.JoinMerge}
 		}
 		res, err := r.db.Query(sql, opts)
 		if err != nil {
@@ -256,6 +283,9 @@ func (r *Runner) runQuery(sql, regime string) (runResult, error) {
 				return runResult{skip: true}, nil
 			}
 			return runResult{}, fmt.Errorf("%s query failed: %w\n  query: %s", regime, err, sql)
+		}
+		if regime == RegimeTight {
+			r.stats.SpillRuns += res.Spill.Runs
 		}
 		return runResult{rows: res.Rows, fellBack: res.FellBack}, nil
 	default:
@@ -270,6 +300,9 @@ func (r *Runner) regimes() []string {
 	}
 	if r.cfg.Network {
 		regs = append(regs, RegimeNet)
+	}
+	if r.cfg.TightMemory {
+		regs = append(regs, RegimeTight)
 	}
 	return regs
 }
@@ -384,6 +417,14 @@ func (r *Runner) checkPair(s *Scenario, p Pair) ([]Violation, error) {
 				out = append(out, Violation{
 					Scenario: s, Pair: p, Check: "netparity", QueryIndex: qi,
 					Detail: fmt.Sprintf("in-process vs networked disagree as bags: %s\n  query: %s", d, q.SQL),
+				})
+			}
+		}
+		if trs, ok := results[RegimeTight]; ok && !trs[qi].skip {
+			if d := equalBags(bagOf(seq.rows), bagOf(trs[qi].rows)); d != "" {
+				out = append(out, Violation{
+					Scenario: s, Pair: p, Check: "tightparity", QueryIndex: qi,
+					Detail: fmt.Sprintf("in-memory vs forced-spill disagree as bags: %s\n  query: %s", d, q.SQL),
 				})
 			}
 		}

@@ -65,7 +65,7 @@ func (p *Planner) antiJoin(cur input, ip *ast.InPred, outerFrom []ast.TableRef, 
 	if err != nil {
 		return input{}, err
 	}
-	file, err := exec.Materialize(right.op, p.store, p.opts.TempTuplesPerPage)
+	file, err := exec.MaterializeBudget(right.op, p.store, p.opts.TempTuplesPerPage, p.opts.QC)
 	if err != nil {
 		return input{}, err
 	}

@@ -24,7 +24,7 @@ func (p *Planner) finish(cur input, qb *ast.QueryBlock, label string) (input, er
 		for i, o := range qb.OrderBy {
 			keys[i], desc[i] = o.Pos, o.Desc
 		}
-		out.op = &exec.Sort{Child: out.op, Keys: keys, Desc: desc, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
+		out.op = &exec.Sort{Child: out.op, Keys: keys, Desc: desc, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC, Spill: p.opts.Spill}
 		out.sortedOn = -1
 		if !desc[0] {
 			out.sortedOn = keys[0]
@@ -68,7 +68,7 @@ func (p *Planner) finishShape(cur input, qb *ast.QueryBlock, label string) (inpu
 		for i := range keys {
 			keys[i] = i
 		}
-		srt := &exec.Sort{Child: out.op, Keys: keys, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
+		srt := &exec.Sort{Child: out.op, Keys: keys, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC, Spill: p.opts.Spill}
 		out.op = &exec.Distinct{Child: srt}
 		out.sortedOn = 0
 		p.notef("%s: duplicates removed by sort over %d column(s)", label, len(keys))
@@ -101,7 +101,7 @@ func (p *Planner) finishGroup(cur input, qb *ast.QueryBlock, label string) (inpu
 		if len(groupCols) == 1 && cur.sortedOn == groupCols[0] {
 			p.notef("%s: input already in GROUP BY order, sort elided", label)
 		} else {
-			op = &exec.Sort{Child: op, Keys: groupCols, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
+			op = &exec.Sort{Child: op, Keys: groupCols, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC, Spill: p.opts.Spill}
 			p.notef("%s: sort for GROUP BY", label)
 		}
 	}
@@ -138,11 +138,12 @@ func (p *Planner) finishGroup(cur input, qb *ast.QueryBlock, label string) (inpu
 			Items:     items,
 			Workers:   w,
 			QC:        p.opts.QC,
+			Spill:     p.opts.Spill,
 		}, QC: p.opts.QC}
 		sortedOut = -1 // worker output interleaves nondeterministically
 		p.notef("%s: parallel hash aggregation over %d group column(s) (%d workers)", label, len(groupCols), w)
 	} else {
-		out = &exec.GroupAgg{Child: op, GroupCols: groupCols, Items: items}
+		out = &exec.GroupAgg{Child: op, GroupCols: groupCols, Items: items, QC: p.opts.QC}
 	}
 	if len(qb.Having) > 0 {
 		having := append([]ast.HavingPred(nil), qb.Having...)

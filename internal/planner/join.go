@@ -154,6 +154,7 @@ func (p *Planner) parallelHashJoin(cur, right input, lkey, rkey int, nullEq bool
 		NullEq:   nullEq,
 		Workers:  w,
 		QC:       p.opts.QC,
+		Spill:    p.opts.Spill,
 	}
 	kind := "parallel hash join"
 	if outer {
@@ -200,14 +201,14 @@ func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, n
 	b := p.store.BufferPages()
 	left := cur.op
 	if cur.sortedOn != lkey {
-		left = &exec.Sort{Child: left, Keys: []int{lkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
+		left = &exec.Sort{Child: left, Keys: []int{lkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC, Spill: p.opts.Spill}
 		p.notef("%s: sort left input on %s", label, cur.op.Schema()[lkey])
 	} else {
 		p.notef("%s: left input already in join-column order, sort elided", label)
 	}
 	rightOp := right.op
 	if right.sortedOn != rkey {
-		rightOp = &exec.Sort{Child: rightOp, Keys: []int{rkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC}
+		rightOp = &exec.Sort{Child: rightOp, Keys: []int{rkey}, Store: p.store, TuplesPerPage: p.opts.TempTuplesPerPage, QC: p.opts.QC, Spill: p.opts.Spill}
 		p.notef("%s: sort right input on %s", label, right.op.Schema()[rkey])
 	} else {
 		p.notef("%s: right input already in join-column order, sort elided", label)
@@ -217,7 +218,7 @@ func (p *Planner) mergeJoin(cur, right input, tr ast.TableRef, lkey, rkey int, n
 		kind = "outer merge join"
 	}
 	p.notef("%s: %s %s with %s (B=%d)", label, kind, cur.op.Schema()[lkey], right.op.Schema()[rkey], b)
-	var op exec.Operator = &exec.MergeJoin{Left: left, Right: rightOp, LeftKey: lkey, RightKey: rkey, Outer: outer, NullEq: nullEq}
+	var op exec.Operator = &exec.MergeJoin{Left: left, Right: rightOp, LeftKey: lkey, RightKey: rkey, Outer: outer, NullEq: nullEq, QC: p.opts.QC, Spill: p.opts.Spill}
 	if len(rest) > 0 {
 		pred, err := exec.CompileConjuncts(rest, op.Schema())
 		if err != nil {
@@ -276,7 +277,7 @@ func (p *Planner) nlJoin(cur, right input, tr ast.TableRef, joinConjs []ast.Pred
 	if scan, ok := right.op.(*exec.SeqScan); ok {
 		file = scan.File
 	} else {
-		f, err := exec.Materialize(right.op, p.store, p.opts.TempTuplesPerPage)
+		f, err := exec.MaterializeBudget(right.op, p.store, p.opts.TempTuplesPerPage, p.opts.QC)
 		if err != nil {
 			return input{}, err
 		}

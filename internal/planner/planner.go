@@ -22,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/qctx"
 	"repro/internal/schema"
+	"repro/internal/spill"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/transform"
@@ -83,6 +84,11 @@ type Options struct {
 	// QC, when set, threads lifecycle governance (cancellation, deadline,
 	// row and memory budgets) into every operator the planner builds.
 	QC *qctx.QueryContext
+	// Spill, when set, gives every buffering operator the planner builds
+	// (sorts, hash builds, aggregations, merge-join groups) a per-query
+	// spill session: a refused memory reservation degrades to run files
+	// on disk instead of failing with ErrMemoryBudget.
+	Spill *spill.Session
 	// TempSuffix namespaces the physical names of this query's temporary
 	// tables in the shared store and catalog (TEMP1 → TEMP1<suffix>), so
 	// concurrent queries materializing the same logical TEMPn cannot
@@ -231,7 +237,7 @@ func (p *Planner) buildTemp(temp transform.TempTable) error {
 		return fmt.Errorf("planner: temp %s: %w", temp.Name, err)
 	}
 	p.notef("%s plan:\n%s", temp.Name, exec.Describe(plan.op))
-	if err := exec.MaterializeInto(plan.op, file); err != nil {
+	if err := exec.MaterializeIntoBudget(plan.op, file, p.opts.QC); err != nil {
 		return err
 	}
 	if plan.sortedOn >= 0 && plan.sortedOn < len(temp.Rel.Columns) {

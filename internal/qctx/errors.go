@@ -17,8 +17,11 @@
 //	                  draining engine); carries a retry-after hint
 //	ErrCircuitOpen    the parallel path is circuit-broken and the caller
 //	                  demanded parallel execution
-//	ErrInjectedFault  a chaos-harness storage fault (transient; the only
-//	                  retryable family)
+//	ErrInjectedFault  a chaos-harness storage fault (transient and
+//	                  retryable)
+//	ErrSpillCorrupt   a spill run failed its checksum or decode; the
+//	                  query never saw wrong rows, and a clean re-run can
+//	                  succeed (transient and retryable)
 package qctx
 
 import (
@@ -56,9 +59,17 @@ var (
 	ErrCircuitOpen = errors.New("parallel circuit open")
 
 	// ErrInjectedFault is the storage layer's injected-fault sentinel,
-	// re-exported so the taxonomy is complete in one place. It is the
-	// only transient family: see Retryable.
+	// re-exported so the taxonomy is complete in one place. It is a
+	// transient family: see Retryable.
 	ErrInjectedFault = storage.ErrInjectedFault
+
+	// ErrSpillCorrupt reports that a spill run file failed its CRC32C
+	// checksum (or could not be decoded) when read back. The executor
+	// guarantees corruption is detected before any row from the damaged
+	// run is returned, so the result is never wrong — the query fails
+	// typed, and because the runs are rewritten from scratch on a
+	// re-run, the family is transient and retryable.
+	ErrSpillCorrupt = errors.New("corrupt spill run")
 )
 
 // OverloadError is the concrete shed error: the admission queue was full
@@ -79,9 +90,10 @@ func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // Retryable reports whether an error is worth a transient retry of the
 // whole query: an injected storage fault (possibly contained from a
-// panic) that is not also a lifecycle outcome. Timeouts, cancellations,
-// budget violations, sheds, and circuit-breaker rejections are final —
-// retrying them either cannot succeed or would override the caller.
+// panic) or a corrupt spill run, as long as it is not also a lifecycle
+// outcome. Timeouts, cancellations, budget violations, sheds, and
+// circuit-breaker rejections are final — retrying them either cannot
+// succeed or would override the caller.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
@@ -91,5 +103,5 @@ func Retryable(err error) bool {
 		errors.Is(err, ErrCircuitOpen) {
 		return false
 	}
-	return errors.Is(err, ErrInjectedFault)
+	return errors.Is(err, ErrInjectedFault) || errors.Is(err, ErrSpillCorrupt)
 }

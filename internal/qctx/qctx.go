@@ -75,8 +75,48 @@ type QueryContext struct {
 	maxRows  int64
 	maxBytes int64
 
+	// Spill policy. Stored atomically because ForceSpill may escalate
+	// it between execution attempts while per-operator readers run
+	// lock-free; spillThreshold is immutable after construction.
+	spill          atomic.Uint32
+	spillThreshold int64
+
 	rows     atomic.Int64 // result rows produced so far
 	buffered atomic.Int64 // bytes currently buffered (hash builds, sorts)
+}
+
+// SpillPolicy selects how buffering operators respond to memory
+// pressure when a spill session is available.
+type SpillPolicy uint8
+
+// The spill policies. SpillDefault is resolved by the engine (to
+// SpillAuto when a spill directory is configured, SpillOff otherwise)
+// before a QueryContext is built.
+const (
+	SpillDefault SpillPolicy = iota
+	// SpillOff never spills: exceeding the memory budget fails the
+	// query with ErrMemoryBudget, the pre-spill behavior.
+	SpillOff
+	// SpillAuto spills when a reservation would cross the memory budget
+	// or the configured spill threshold, and stays in memory otherwise.
+	SpillAuto
+	// SpillForced refuses every reservation, pushing all buffering
+	// operator state through spill runs — the chaos and metamorph
+	// suites use it to exercise the spill paths deterministically.
+	SpillForced
+)
+
+func (p SpillPolicy) String() string {
+	switch p {
+	case SpillOff:
+		return "off"
+	case SpillAuto:
+		return "auto"
+	case SpillForced:
+		return "forced"
+	default:
+		return "default"
+	}
 }
 
 // Limits configures a QueryContext.
@@ -88,6 +128,12 @@ type Limits struct {
 	// MaxBytes bounds bytes buffered by hash builds and sort runs at
 	// any one time; 0 means unlimited.
 	MaxBytes int64
+	// Spill selects the spill policy (see SpillPolicy).
+	Spill SpillPolicy
+	// SpillThreshold makes SpillAuto spill once buffered bytes would
+	// cross it, even when MaxBytes is unlimited or larger; 0 means
+	// "spill only at the MaxBytes boundary".
+	SpillThreshold int64
 }
 
 // New creates a QueryContext. If lim.Timeout is positive, a timer
@@ -97,9 +143,11 @@ type Limits struct {
 // timer.
 func New(lim Limits) *QueryContext {
 	qc := &QueryContext{
-		maxRows:  lim.MaxRows,
-		maxBytes: lim.MaxBytes,
+		maxRows:        lim.MaxRows,
+		maxBytes:       lim.MaxBytes,
+		spillThreshold: lim.SpillThreshold,
 	}
+	qc.spill.Store(uint32(lim.Spill))
 	ch := make(chan struct{})
 	qc.done.Store(&ch)
 	if lim.Timeout > 0 {
@@ -195,24 +243,78 @@ func (qc *QueryContext) AddRows(n int) error {
 	return nil
 }
 
+// tracking reports whether buffered-byte accounting is live: either a
+// hard budget or a spill threshold makes the counter meaningful.
+func (qc *QueryContext) tracking() bool {
+	return qc.maxBytes != 0 || qc.spillThreshold != 0
+}
+
 // AddBuffered charges n bytes of buffered state (hash-table partitions,
 // sort runs) against the memory budget; ReleaseBuffered returns them.
 // Exceeding the budget cancels the query with ErrMemoryBudget.
 func (qc *QueryContext) AddBuffered(n int64) error {
-	if qc == nil || qc.maxBytes == 0 {
+	if qc == nil || !qc.tracking() {
 		return nil
 	}
-	if qc.buffered.Add(n) > qc.maxBytes {
+	if qc.buffered.Add(n) > qc.maxBytes && qc.maxBytes != 0 {
 		qc.Cancel(ErrMemoryBudget)
 		return ErrMemoryBudget
 	}
 	return nil
 }
 
+// ReserveBuffered tries to charge n bytes like AddBuffered but without
+// ever canceling the query: it reports false — rolling back the charge —
+// when the caller should spill instead. That happens under SpillForced
+// always, and under any policy when the reservation would cross the
+// hard memory budget or the spill threshold. A nil or untracked context
+// always grants, and a granted reservation is returned with
+// ReleaseBuffered like any other charge. Operators without a spill
+// session keep calling AddBuffered, so refusal here never strands an
+// unspillable operator.
+func (qc *QueryContext) ReserveBuffered(n int64) bool {
+	if qc == nil {
+		return true
+	}
+	if SpillPolicy(qc.spill.Load()) == SpillForced {
+		return false
+	}
+	if !qc.tracking() {
+		return true
+	}
+	nb := qc.buffered.Add(n)
+	if (qc.maxBytes != 0 && nb > qc.maxBytes) ||
+		(qc.spillThreshold != 0 && nb > qc.spillThreshold) {
+		qc.buffered.Add(-n)
+		return false
+	}
+	return true
+}
+
+// SpillPolicy reports the context's spill policy (SpillOff for nil).
+func (qc *QueryContext) SpillPolicy() SpillPolicy {
+	if qc == nil {
+		return SpillOff
+	}
+	return SpillPolicy(qc.spill.Load())
+}
+
+// ForceSpill escalates the policy to SpillForced — the engine's last
+// degradation rung before failing a query: operators whose reservations
+// merely FIT the budget can starve a later irreducible charge (a temp
+// page buffer has no spill path), so the retry refuses every
+// reservation and pushes all spillable state to disk.
+func (qc *QueryContext) ForceSpill() {
+	if qc == nil {
+		return
+	}
+	qc.spill.Store(uint32(SpillForced))
+}
+
 // ReleaseBuffered returns n bytes to the memory budget, e.g. when a
 // hash join closes and frees its build side.
 func (qc *QueryContext) ReleaseBuffered(n int64) {
-	if qc == nil || qc.maxBytes == 0 {
+	if qc == nil || !qc.tracking() {
 		return
 	}
 	qc.buffered.Add(-n)

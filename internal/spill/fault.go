@@ -1,0 +1,88 @@
+// Seeded fault injection for spill I/O, the internal/storage/fault.go
+// idea carried to run files. Unlike the storage injector — which panics
+// through the iterator stack because page reads have no error return —
+// spill I/O is plumbed with errors end to end, so faults here are
+// returned: write and read errors wrap storage.ErrInjectedFault (the
+// transient, retryable family), and corruption faults flip a payload
+// byte after the checksum is taken so the Reader's CRC verification
+// must surface qctx.ErrSpillCorrupt. A run that decodes wrong rows
+// instead of erroring is a test failure, never a degraded result.
+package spill
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// FaultConfig sets seeded per-operation fault probabilities.
+type FaultConfig struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// WriteError is the probability a spill write (or flush) fails with
+	// a transient injected error.
+	WriteError float64
+	// ReadError is the probability a spill read fails with a transient
+	// injected error.
+	ReadError float64
+	// Corrupt is the probability one written record is corrupted on
+	// disk (a flipped payload byte the checksum must catch).
+	Corrupt float64
+	// MaxFaults bounds the total injected faults; 0 means unlimited.
+	MaxFaults int64
+}
+
+// FaultInjector injects the configured faults. Install it on a Manager
+// with SetFaultInjector. Safe for concurrent use.
+type FaultInjector struct {
+	cfg      FaultConfig
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected atomic.Int64
+}
+
+// NewFaultInjector builds a seeded injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected reports how many faults fired — the chaos suites' teeth
+// check.
+func (fi *FaultInjector) Injected() int64 { return fi.injected.Load() }
+
+// roll draws one seeded Bernoulli trial, honoring MaxFaults.
+func (fi *FaultInjector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	fi.mu.Lock()
+	hit := fi.rng.Float64() < p
+	fi.mu.Unlock()
+	if !hit {
+		return false
+	}
+	if fi.cfg.MaxFaults > 0 && fi.injected.Load() >= fi.cfg.MaxFaults {
+		return false
+	}
+	fi.injected.Add(1)
+	return true
+}
+
+func (fi *FaultInjector) onWrite(path string) error {
+	if fi.roll(fi.cfg.WriteError) {
+		return fmt.Errorf("spill: injected write fault on %s: %w", path, storage.ErrInjectedFault)
+	}
+	return nil
+}
+
+func (fi *FaultInjector) onRead(path string) error {
+	if fi.roll(fi.cfg.ReadError) {
+		return fmt.Errorf("spill: injected read fault on %s: %w", path, storage.ErrInjectedFault)
+	}
+	return nil
+}
+
+func (fi *FaultInjector) corruptRoll() bool { return fi.roll(fi.cfg.Corrupt) }

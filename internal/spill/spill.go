@@ -1,0 +1,461 @@
+// Package spill is the run-file manager behind graceful degradation
+// under memory pressure: when a buffering operator (hash join build,
+// hash aggregation, sort) cannot reserve budget for its working set, it
+// writes row runs to disk through this package and streams them back
+// later, so the query degrades to slower-but-correct instead of dying
+// with qctx.ErrMemoryBudget.
+//
+// Run files are sequences of checksummed records, reusing the wire
+// protocol's codec shape (internal/wire): each record is a uint32
+// big-endian payload length, the payload, and a uint32 big-endian
+// CRC32C of the payload; the payload is a uvarint column count followed
+// by one kind-tagged value per column. Any corruption — a flipped bit,
+// a short write, a truncated tail — surfaces as a typed error wrapping
+// qctx.ErrSpillCorrupt, never as wrong rows.
+//
+// Lifecycle: a Manager owns the spill directory and the cumulative
+// counters; each query gets a Session namespaced by query id (mirroring
+// the TEMPn#qN temp-table scheme). Operators create runs through the
+// session and drop them eagerly when consumed; Session.Close removes
+// everything that survived — on success, cancel, timeout, or panic
+// alike — so a query can never leak spill files.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/qctx"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// castagnoli is the CRC32C table, the same polynomial the wire protocol
+// frames use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordLen caps one encoded row. Anything larger in a length prefix
+// is treated as corruption rather than attempted as an allocation.
+const maxRecordLen = 1 << 28
+
+// Stats counts spill activity: run files written and payload bytes in
+// them. Per-query sessions and the manager both expose a snapshot.
+type Stats struct {
+	Runs  int64
+	Bytes int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d spill runs, %d bytes", s.Runs, s.Bytes)
+}
+
+// Manager owns one spill directory and the cumulative counters across
+// every query that spilled into it. All methods are safe for concurrent
+// use; a nil Manager is inert.
+type Manager struct {
+	dir   string
+	seq   atomic.Int64
+	runs  atomic.Int64
+	bytes atomic.Int64
+	inj   atomic.Pointer[FaultInjector]
+}
+
+// NewManager creates (if needed) the spill directory and returns a
+// manager rooted there.
+func NewManager(dir string) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("spill: empty spill directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Manager{dir: dir}, nil
+}
+
+// Dir reports the spill directory.
+func (m *Manager) Dir() string {
+	if m == nil {
+		return ""
+	}
+	return m.dir
+}
+
+// Stats snapshots the cumulative counters. Safe on nil.
+func (m *Manager) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	return Stats{Runs: m.runs.Load(), Bytes: m.bytes.Load()}
+}
+
+// SetFaultInjector installs (or, with nil, removes) a seeded fault
+// injector on every subsequent spill read and write. Tests only.
+func (m *Manager) SetFaultInjector(inj *FaultInjector) {
+	if m != nil {
+		m.inj.Store(inj)
+	}
+}
+
+// LiveFiles counts the files currently present in the spill directory —
+// the leak-check invariant is zero once no query is in flight.
+func (m *Manager) LiveFiles() (int, error) {
+	if m == nil {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// NewSession opens a per-query spill namespace; name is the query tag
+// (for example "q17", matching the TEMPn#q17 temp-table suffix). Safe on
+// a nil manager, which returns a nil (inert) session.
+func (m *Manager) NewSession(name string) *Session {
+	if m == nil {
+		return nil
+	}
+	return &Session{m: m, name: name, files: make(map[string]struct{})}
+}
+
+// Session tracks every run file one query creates so that Close can
+// remove whatever the operators have not already dropped — the backstop
+// that makes cancel, timeout, and panic paths leak-free. A nil Session
+// means "spilling disabled" and every method is a safe no-op; operators
+// only consult it after qctx.ReserveBuffered refuses a reservation.
+type Session struct {
+	m    *Manager
+	name string
+
+	runs  atomic.Int64
+	bytes atomic.Int64
+
+	mu     sync.Mutex
+	files  map[string]struct{}
+	closed bool
+}
+
+// Enabled reports whether spilling is available (non-nil session).
+func (s *Session) Enabled() bool { return s != nil }
+
+// Stats snapshots this query's spill counters. Safe on nil.
+func (s *Session) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Runs: s.runs.Load(), Bytes: s.bytes.Load()}
+}
+
+// Close removes every run file the session still tracks. Idempotent,
+// safe on nil, and safe to race with operator Close paths (double
+// removes are ignored).
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	paths := make([]string, 0, len(s.files))
+	for p := range s.files {
+		paths = append(paths, p)
+	}
+	s.files = nil
+	s.mu.Unlock()
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// track registers a newly-created file; forget stops tracking one that
+// an operator removed eagerly.
+func (s *Session) track(path string) {
+	s.mu.Lock()
+	if !s.closed {
+		s.files[path] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) forget(path string) {
+	s.mu.Lock()
+	if !s.closed {
+		delete(s.files, path)
+	}
+	s.mu.Unlock()
+}
+
+// NewWriter opens a new run file for writing. The caller must call
+// Finish (keeping the run) or Abort (discarding it) exactly once.
+func (s *Session) NewWriter() (*Writer, error) {
+	if s == nil {
+		return nil, fmt.Errorf("spill: no spill session")
+	}
+	path := filepath.Join(s.m.dir, fmt.Sprintf("%s-%d.run", s.name, s.m.seq.Add(1)))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	s.track(path)
+	return &Writer{s: s, f: f, bw: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+}
+
+// Writer appends encoded, checksummed rows to one run file.
+type Writer struct {
+	s       *Session
+	f       *os.File
+	bw      *bufio.Writer
+	path    string
+	tuples  int
+	bytes   int64
+	scratch []byte
+}
+
+// Append encodes and writes one row.
+func (w *Writer) Append(t storage.Tuple) error {
+	if inj := w.s.m.inj.Load(); inj != nil {
+		if err := inj.onWrite(w.path); err != nil {
+			return err
+		}
+	}
+	payload := encodeTuple(w.scratch[:0], t)
+	w.scratch = payload // reuse the allocation across rows
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	sum := crc32.Checksum(payload, castagnoli)
+	if inj := w.s.m.inj.Load(); inj != nil && len(payload) > 0 && inj.corruptRoll() {
+		// Corruption fault: flip one payload byte after the checksum was
+		// taken, so the reader's CRC verification must catch it.
+		payload[len(payload)/2] ^= 0x40
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], sum)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: write %s: %w", w.path, err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return fmt.Errorf("spill: write %s: %w", w.path, err)
+	}
+	if _, err := w.bw.Write(crc[:]); err != nil {
+		return fmt.Errorf("spill: write %s: %w", w.path, err)
+	}
+	w.tuples++
+	w.bytes += int64(len(payload) + 8)
+	return nil
+}
+
+// Finish flushes and closes the file, returning the completed run and
+// folding its size into the session and manager counters.
+func (w *Writer) Finish() (*Run, error) {
+	if inj := w.s.m.inj.Load(); inj != nil {
+		if err := inj.onWrite(w.path); err != nil {
+			w.f.Close()
+			return nil, err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return nil, fmt.Errorf("spill: flush %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, fmt.Errorf("spill: close %s: %w", w.path, err)
+	}
+	w.s.runs.Add(1)
+	w.s.bytes.Add(w.bytes)
+	w.s.m.runs.Add(1)
+	w.s.m.bytes.Add(w.bytes)
+	return &Run{s: w.s, path: w.path, Tuples: w.tuples, Bytes: w.bytes}, nil
+}
+
+// Abort discards the half-written run.
+func (w *Writer) Abort() {
+	w.f.Close()
+	os.Remove(w.path)
+	w.s.forget(w.path)
+}
+
+// Run is one completed, immutable run file. It can be opened for
+// reading any number of times (merge-join groups re-read theirs once
+// per duplicate outer key).
+type Run struct {
+	s      *Session
+	path   string
+	Tuples int
+	Bytes  int64
+}
+
+// Open starts a sequential scan of the run.
+func (r *Run) Open() (*Reader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Reader{r: r, f: f, br: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// Remove deletes the run file eagerly (the session Close would get it
+// anyway; eager removal keeps disk usage proportional to the live
+// working set). Idempotent.
+func (r *Run) Remove() {
+	os.Remove(r.path)
+	r.s.forget(r.path)
+}
+
+// Reader streams a run back. Next returns io.EOF cleanly at the end of
+// the run; any checksum mismatch, impossible length, or mid-record
+// truncation returns an error wrapping qctx.ErrSpillCorrupt.
+type Reader struct {
+	r   *Run
+	f   *os.File
+	br  *bufio.Reader
+	buf []byte
+}
+
+// Next decodes the next row.
+func (rd *Reader) Next() (storage.Tuple, error) {
+	if inj := rd.r.s.m.inj.Load(); inj != nil {
+		if err := inj.onRead(rd.r.path); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, corruptf(rd.r.path, "truncated record header")
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRecordLen {
+		return nil, corruptf(rd.r.path, "impossible record length %d", n)
+	}
+	if cap(rd.buf) < int(n)+4 {
+		rd.buf = make([]byte, int(n)+4)
+	}
+	buf := rd.buf[:int(n)+4]
+	if _, err := io.ReadFull(rd.br, buf); err != nil {
+		return nil, corruptf(rd.r.path, "truncated record body")
+	}
+	payload, crc := buf[:n], binary.BigEndian.Uint32(buf[n:])
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, corruptf(rd.r.path, "checksum mismatch")
+	}
+	t, err := decodeTuple(payload)
+	if err != nil {
+		return nil, corruptf(rd.r.path, "%v", err)
+	}
+	return t, nil
+}
+
+// Close releases the file handle.
+func (rd *Reader) Close() error { return rd.f.Close() }
+
+func corruptf(path, format string, args ...any) error {
+	return fmt.Errorf("spill: run %s: %s: %w", filepath.Base(path), fmt.Sprintf(format, args...), qctx.ErrSpillCorrupt)
+}
+
+// encodeTuple appends the wire-shaped encoding of t to dst: uvarint
+// column count, then per column a kind byte followed by the payload —
+// varint for integers and dates (dates as their year*10000+month*100+day
+// encoding), 8-byte big-endian IEEE bits for floats, uvarint-length-
+// prefixed bytes for strings, nothing for NULL.
+func encodeTuple(dst []byte, t storage.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.Kind()))
+		switch v.Kind() {
+		case value.KindNull:
+		case value.KindInt:
+			dst = binary.AppendVarint(dst, v.Int())
+		case value.KindFloat:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+			dst = append(dst, b[:]...)
+		case value.KindString:
+			s := v.Str()
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		case value.KindDate:
+			d := v.DateOf()
+			dst = binary.AppendVarint(dst, int64(d.Year())*10000+int64(d.Month())*100+int64(d.Day()))
+		}
+	}
+	return dst
+}
+
+// decodeTuple parses one payload back into a tuple.
+func decodeTuple(p []byte) (storage.Tuple, error) {
+	ncols, n := binary.Uvarint(p)
+	if n <= 0 || ncols > uint64(maxRecordLen) {
+		return nil, fmt.Errorf("bad column count")
+	}
+	p = p[n:]
+	t := make(storage.Tuple, ncols)
+	for i := range t {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("short value")
+		}
+		kind := value.Kind(p[0])
+		p = p[1:]
+		switch kind {
+		case value.KindNull:
+			t[i] = value.Null
+		case value.KindInt:
+			x, n := binary.Varint(p)
+			if n <= 0 {
+				return nil, fmt.Errorf("bad int")
+			}
+			p = p[n:]
+			t[i] = value.NewInt(x)
+		case value.KindFloat:
+			if len(p) < 8 {
+				return nil, fmt.Errorf("short float")
+			}
+			t[i] = value.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(p[:8])))
+			p = p[8:]
+		case value.KindString:
+			l, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p)-n) < l {
+				return nil, fmt.Errorf("bad string length")
+			}
+			p = p[n:]
+			t[i] = value.NewString(string(p[:l]))
+			p = p[l:]
+		case value.KindDate:
+			enc, n := binary.Varint(p)
+			if n <= 0 {
+				return nil, fmt.Errorf("bad date")
+			}
+			p = p[n:]
+			d, err := value.NewDate(int(enc/10000), int(enc/100)%100, int(enc%100))
+			if err != nil {
+				return nil, fmt.Errorf("bad date payload")
+			}
+			t[i] = value.NewDateValue(d)
+		default:
+			return nil, fmt.Errorf("unknown kind %d", kind)
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("trailing bytes")
+	}
+	return t, nil
+}

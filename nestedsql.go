@@ -33,6 +33,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/qctx"
 	"repro/internal/schema"
+	"repro/internal/spill"
 	"repro/internal/storage"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -58,6 +59,10 @@ var (
 	// ErrCircuitOpen reports a query that demanded a parallel plan while
 	// the parallel path is circuit-broken after repeated worker faults.
 	ErrCircuitOpen = qctx.ErrCircuitOpen
+	// ErrSpillCorrupt reports a spill run file that failed its checksum
+	// or framing on read-back (see WithSpill): the query fails typed —
+	// never returns wrong rows — and its spill files are removed.
+	ErrSpillCorrupt = qctx.ErrSpillCorrupt
 )
 
 // RetryAfter extracts the admission gateway's retry-after hint from an
@@ -153,8 +158,10 @@ type DB struct {
 type Option func(*config)
 
 type config struct {
-	bufferPages int
-	admission   *AdmissionConfig
+	bufferPages    int
+	admission      *AdmissionConfig
+	spillDir       string
+	spillThreshold int64
 }
 
 // WithBufferPages sets the buffer pool size in pages — the paper's B.
@@ -180,6 +187,25 @@ type AdmissionConfig struct {
 	// RetryMax bounds automatic retries of transiently-failed queries
 	// (injected storage faults); 0 disables.
 	RetryMax int
+}
+
+// WithSpill enables spill-to-disk execution rooted at dir: a query that
+// cannot keep its hash builds and sort runs within WithMemoryBudget
+// writes checksummed run files under dir and completes (slower but
+// correct) instead of failing with ErrMemoryBudget. Spill files are
+// namespaced per query and always removed when the query ends —
+// success, error, cancel, or panic. Open panics if dir cannot be
+// created; use DB.EnableSpill to handle the error instead.
+func WithSpill(dir string) Option {
+	return func(c *config) { c.spillDir = dir }
+}
+
+// WithSpillThreshold makes queries start spilling once they buffer more
+// than n bytes even while under their memory budget (or unbudgeted),
+// bounding the engine's in-memory working set per query. It has no
+// effect without WithSpill.
+func WithSpillThreshold(n int64) Option {
+	return func(c *config) { c.spillThreshold = n }
 }
 
 // WithAdmissionControl turns on the concurrency gateway: every Query
@@ -208,8 +234,27 @@ func Open(opts ...Option) *DB {
 			RetryMax:      cfg.admission.RetryMax,
 		})
 	}
+	if cfg.spillDir != "" {
+		if err := db.eng.EnableSpill(cfg.spillDir, cfg.spillThreshold); err != nil {
+			panic(fmt.Sprintf("nestedsql: WithSpill: %v", err))
+		}
+	}
 	return db
 }
+
+// EnableSpill is WithSpill + WithSpillThreshold after Open, with an
+// error return instead of a panic when dir cannot be created.
+func (db *DB) EnableSpill(dir string, threshold int64) error {
+	return db.eng.EnableSpill(dir, threshold)
+}
+
+// SpillStats counts spill activity: run files written and payload bytes
+// in them.
+type SpillStats = spill.Stats
+
+// SpillStats reports cumulative spill activity across all queries (zero
+// without WithSpill).
+func (db *DB) SpillStats() SpillStats { return db.eng.SpillStats() }
 
 // AdmissionStats is a snapshot of the gateway's counters: queries
 // running, queued, admitted, shed; memory-pool usage and peak; transient
@@ -370,6 +415,29 @@ func WithMemoryBudget(n int64) QueryOption {
 	return func(o *engine.Options) { o.MaxBytes = n }
 }
 
+// SpillPolicy selects how one query responds to memory pressure when
+// the database was opened WithSpill; see WithSpillPolicy.
+type SpillPolicy = qctx.SpillPolicy
+
+// The spill policies.
+const (
+	// SpillAuto (the default with WithSpill) spills when buffering would
+	// cross the memory budget or the spill threshold.
+	SpillAuto = qctx.SpillAuto
+	// SpillOff restores the pre-spill behavior for one query: exceeding
+	// the memory budget fails with ErrMemoryBudget.
+	SpillOff = qctx.SpillOff
+	// SpillForced routes every buffering operator through spill runs
+	// regardless of budget — for tests and chaos suites.
+	SpillForced = qctx.SpillForced
+)
+
+// WithSpillPolicy overrides the query's spill policy. Without WithSpill
+// every policy degrades to SpillOff — there is nowhere to write runs.
+func WithSpillPolicy(p SpillPolicy) QueryOption {
+	return func(o *engine.Options) { o.Spill = p }
+}
+
 // WithCancel cancels the query with ErrCanceled as soon as ch is closed —
 // wire it to a signal handler for Ctrl-C, or close it from another
 // goroutine. Cancellation is cooperative and takes effect within one
@@ -397,8 +465,9 @@ type Result struct {
 	Columns  []string
 	Rows     [][]any
 	PageIO   PageIO
-	FellBack bool     // transformation fell back to nested iteration
-	Trace    []string // transformation steps and plan decisions
+	Spill    SpillStats // spill runs/bytes this query wrote (see WithSpill)
+	FellBack bool       // transformation fell back to nested iteration
+	Trace    []string   // transformation steps and plan decisions
 }
 
 // Query executes one SQL statement. The default strategy is
@@ -415,6 +484,7 @@ func (db *DB) Query(sql string, opts ...QueryOption) (*Result, error) {
 	out := &Result{
 		Columns:  res.Columns,
 		PageIO:   PageIO{Reads: res.Stats.Reads, Writes: res.Stats.Writes},
+		Spill:    res.Spill,
 		FellBack: res.FellBack,
 		Trace:    res.Trace,
 	}
@@ -465,6 +535,7 @@ func (db *DB) Exec(script string, opts ...QueryOption) (*Result, error) {
 	out := &Result{
 		Columns:  res.Columns,
 		PageIO:   PageIO{Reads: res.Stats.Reads, Writes: res.Stats.Writes},
+		Spill:    res.Spill,
 		FellBack: res.FellBack,
 		Trace:    res.Trace,
 	}

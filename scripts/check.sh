@@ -40,14 +40,22 @@ go test -race -short -count=1 -run TestChaosFaultInjection ./internal/engine
 echo "==> go test -race -short -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine"
 go test -race -short -count=1 -run 'TestChaosStorm|TestDrainUnderFaults' ./internal/engine
 
+# Short memory-pressure storm: tiny-budget queries through admission and
+# forced spilling with spill I/O faults armed — completions must match
+# the unbudgeted oracle byte-for-byte, failures must be typed, and no
+# spill or temp file may survive (the full-length storm is
+# `make memstorm`).
+echo "==> go test -race -short -run 'TestMemPressureStorm|TestSpill' ./internal/engine"
+go test -race -short -count=1 -run 'TestMemPressureStorm|TestSpillCompletesUnderSmallBudget|TestSpillCorruptRunDetected|TestSpillTimeoutLeakFree' ./internal/engine
+
 # Metamorphic correctness gate: 200 fixed-seed query pairs with provable
 # set relations run through every execution regime (sequential, parallel,
 # nested iteration, live network), plus the mutant check that Kim's
 # retained COUNT bug is caught within the same budget — proof the oracle
 # has teeth. Violations print a minimized repro script verbatim. The long
 # seeded pass is `make metamorph ROUNDS=...`.
-echo "==> go test -race -run 'TestMetamorph(Short|Faults|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph"
-go test -race -count=1 -run 'TestMetamorph(Short|Faults|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph
+echo "==> go test -race -run 'TestMetamorph(Short|Faults|TightMemory|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph"
+go test -race -count=1 -run 'TestMetamorph(Short|Faults|TightMemory|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph
 
 # Network chaos storm: clients through the seeded fault-injecting proxy
 # (delays, split writes, corruption, truncation, drops, partitions).
