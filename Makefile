@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm memstorm netchaos serve-smoke metamorph bench
+.PHONY: check vet build test race fuzz chaos storm memstorm netchaos crash serve-smoke metamorph bench
 
-check: vet build race fuzz chaos storm memstorm netchaos serve-smoke
+check: vet build race fuzz chaos storm memstorm netchaos crash serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseScript -fuzztime 10s ./internal/sqlparser
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 
 # The seeded fault-injection suite: the generated-query corpus executed
 # against a fault-injecting store (read errors, latency, torn temp
@@ -51,6 +52,16 @@ storm:
 # query without spill, completes with it; corrupt runs fail typed).
 memstorm:
 	$(GO) test -race -count=1 -v -run 'TestMemPressureStorm|TestSpillCompletesUnderSmallBudget|TestSequentialBudgetCharged|TestSpillForcedMatchesOracle|TestSpillCorruptRunDetected|TestSpillTimeoutLeakFree|TestMetamorphTightMemory' ./internal/engine ./internal/metamorph
+
+# The kill -9 recovery storm: the durability suite, the in-process
+# crash storm (engines abandoned mid-commit with WAL tears injected),
+# and the full 16-round subprocess storm — a -race nestedsqld SIGKILLed
+# mid-DML-burst over and over, each reboot byte-compared against an
+# oracle holding exactly the acknowledged commits. Zero leaked WAL or
+# snapshot files allowed.
+crash:
+	$(GO) test -race -count=1 -v -run 'TestDurability|TestCrashStorm|TestGoldenCorpus' ./internal/engine ./internal/wal
+	$(GO) test -race -count=1 -v -run TestCrashStormKill9 ./cmd/nestedsqld
 
 # The network chaos storm: clients hammer a live server through the
 # seeded fault-injecting TCP proxy (internal/netfault) — delays, split

@@ -45,6 +45,7 @@ var experiments = []experiment{
 	{"sweep", "Section 4 — savings sweep, analytic and measured (E11)", expSweep},
 	{"modelfit", "Section 7 — cost model vs end-to-end measurement", expModelFit},
 	{"ablations", "Ablations A1-A4 — isolating each NEST-JA2 ingredient", expAblations},
+	{"durability", "Durability — commit overhead (fsync on/off) and recovery time vs WAL length (E13)", expDurability},
 }
 
 func main() {
@@ -59,11 +60,21 @@ func main() {
 	flag.IntVar(&serveConns, "connections", 8, "serve-load: concurrent client connections")
 	flag.IntVar(&serveRounds, "rounds", 3, "serve-load: rounds of the query mix per connection")
 	flag.StringVar(&serveSpillDir, "serve-spill-dir", "", "serve-load: enable spill-to-disk on the in-process server, rooted here (empty = off)")
+	serveDML := flag.Int("serve-dml", 0, "drive N sequential acked INSERTs into table DURABLE on -serve-addr, printing the acked count (see serve_smoke.sh phase 4)")
+	serveDMLVerify := flag.Int("serve-dml-verify", -1, "verify the recovered DURABLE table on -serve-addr holds the contiguous acked prefix (N = acked count from -serve-dml)")
 	flag.Parse()
 
 	if serveLoadFlag {
 		banner("Network load harness — streamed results vs the sequential oracle")
 		expServeLoad()
+		return
+	}
+	if *serveDML > 0 {
+		expServeDML(serveAddr, *serveDML)
+		return
+	}
+	if *serveDMLVerify >= 0 {
+		expServeDMLVerify(serveAddr, *serveDMLVerify)
 		return
 	}
 

@@ -74,6 +74,8 @@ func main() {
 	flag.Var(&loads, "load", "bulk-load a CSV file: TABLE=FILE (repeatable; first line is a header)")
 	open := flag.String("open", "", "open a database snapshot instead of a fixture")
 	save := flag.String("save", "", "write a database snapshot to this file before exiting")
+	dataDir := flag.String("data-dir", "", "durability: write-ahead log + checkpoint directory; recovers prior state on start, checkpoints on exit (empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "durability: fsync every commit batch (with -data-dir); off = commits survive a process crash, not host power loss")
 	flag.Parse()
 	strat, ok := strategies[*strategy]
 	if !ok {
@@ -117,7 +119,21 @@ func main() {
 			fail(err)
 		}
 	}
-	if *open == "" && *fixture != "none" {
+	recovered := false
+	if *dataDir != "" {
+		if *open != "" {
+			fail(fmt.Errorf("-data-dir and -open are mutually exclusive; the data directory is the durable state"))
+		}
+		info, err := db.EnableDurability(*dataDir, *fsync)
+		if err != nil {
+			fail(err)
+		}
+		recovered = info.Recovered()
+		fmt.Fprintf(os.Stderr, "nestedsql: %s\n", info)
+	}
+	// A recovered database already holds its tables; loading the fixture
+	// again would duplicate rows.
+	if *open == "" && !recovered && *fixture != "none" {
 		f, ok := fixtures[*fixture]
 		if !ok {
 			fail(fmt.Errorf("unknown fixture %q", *fixture))
@@ -144,6 +160,13 @@ func main() {
 	}
 
 	saveAndExit := func() {
+		if *dataDir != "" {
+			// Retire the log into one snapshot so the next start recovers
+			// instantly instead of replaying the session's WAL tail.
+			if err := db.Checkpoint(); err != nil {
+				fail(err)
+			}
+		}
 		if *save == "" {
 			return
 		}
@@ -197,8 +220,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if res == nil {
-		fmt.Println("ok (no SELECT in script)")
+	if res == nil || len(res.Columns) == 0 {
+		if res != nil && res.Affected > 0 {
+			fmt.Printf("%d row(s) affected (no SELECT in script)\n", res.Affected)
+		} else {
+			fmt.Println("ok (no SELECT in script)")
+		}
 		return
 	}
 	printResult(res)

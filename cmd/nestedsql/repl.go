@@ -206,6 +206,12 @@ func metaCommand(db *nestedsql.DB, cmd string, sess *session) bool {
 		} else {
 			fmt.Println("spilling disabled (start with -spill-dir)")
 		}
+		if ws, ok := db.WALStats(); ok {
+			fmt.Println("wal:", ws)
+			fmt.Println("recovery:", db.RecoveryInfo())
+		} else {
+			fmt.Println("durability disabled (start with -data-dir)")
+		}
 	default:
 		fmt.Printf("unknown command %s (try \\d, \\strategy, \\explain, \\parallel, \\verify, \\timeout, \\analyze, \\index, \\stats, \\q)\n", fields[0])
 	}
@@ -233,8 +239,12 @@ func runStatement(db *nestedsql.DB, sql string, sess *session) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
-	if res == nil {
-		fmt.Println("ok")
+	if res == nil || len(res.Columns) == 0 {
+		if res != nil && res.Affected > 0 {
+			fmt.Printf("%d row(s) affected\n", res.Affected)
+		} else {
+			fmt.Println("ok")
+		}
 		return
 	}
 	printResult(res)

@@ -28,6 +28,7 @@ import (
 	nestedsql "repro"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 var strategies = map[string]engine.Strategy{
@@ -55,6 +56,10 @@ func main() {
 	writeDeadline := flag.Duration("write-deadline", 0, "per-frame write deadline; a consumer stalled past it is evicted, its query cancelled (0 = 30s)")
 	noChecksum := flag.Bool("no-checksum", false, "refuse checksummed framing in negotiation (for overhead measurements)")
 	noHeartbeat := flag.Bool("no-heartbeat", false, "refuse heartbeat liveness in negotiation")
+	dataDir := flag.String("data-dir", "", "durability: write-ahead log + checkpoint directory; recovers prior state on start, checkpoints on clean shutdown (empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "durability: fsync every commit batch (with -data-dir); off = commits survive a process crash, not host power loss")
+	walFaultRate := flag.Float64("wal-fault-rate", 0, "testing: probability that a WAL append tears mid-record and poisons the log")
+	walFaultSeed := flag.Int64("wal-fault-seed", 1, "testing: seed for -wal-fault-rate")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -77,19 +82,50 @@ func main() {
 			fail(err)
 		}
 	}
-	switch *fixture {
-	case "kiessling":
-		mustLoad(db, nestedsql.FixtureKiessling)
-	case "suppliers":
-		mustLoad(db, nestedsql.FixtureSuppliers)
-	case "both":
-		// Disjoint table names (PARTS/SUPPLY vs S/P/SP), so both paper
-		// databases fit in one catalog.
-		mustLoad(db, nestedsql.FixtureKiessling)
-		mustLoad(db, nestedsql.FixtureSuppliers)
-	case "none":
-	default:
-		fail(fmt.Errorf("unknown fixture %q", *fixture))
+	recovered := false
+	if *dataDir != "" {
+		info, err := db.EnableDurability(*dataDir, *fsync)
+		if err != nil {
+			fail(err)
+		}
+		recovered = info.Recovered()
+		fmt.Fprintf(os.Stderr, "nestedsqld: %s\n", info)
+	}
+	// A recovered database already holds its tables (fixtures included,
+	// since the first boot's loads were logged); loading again would
+	// duplicate rows.
+	if !recovered {
+		switch *fixture {
+		case "kiessling":
+			mustLoad(db, nestedsql.FixtureKiessling)
+		case "suppliers":
+			mustLoad(db, nestedsql.FixtureSuppliers)
+		case "both":
+			// Disjoint table names (PARTS/SUPPLY vs S/P/SP), so both paper
+			// databases fit in one catalog.
+			mustLoad(db, nestedsql.FixtureKiessling)
+			mustLoad(db, nestedsql.FixtureSuppliers)
+		case "none":
+		default:
+			fail(fmt.Errorf("unknown fixture %q", *fixture))
+		}
+	}
+	if *dataDir != "" {
+		// Fold boot-time loads or a replayed WAL tail into one snapshot:
+		// every boot starts from a short log, so recovery time and file
+		// count stay bounded across kill -9 cycles.
+		if err := db.Checkpoint(); err != nil {
+			fail(err)
+		}
+		if *walFaultRate > 0 {
+			db.Internal().WAL().SetFaultInjector(wal.NewFaultInjector(wal.FaultConfig{
+				Seed:           *walFaultSeed,
+				TornAppendRate: *walFaultRate,
+				MaxFaults:      1,
+			}))
+			fmt.Fprintf(os.Stderr, "nestedsqld: WAL fault injection armed (rate=%g seed=%d)\n",
+				*walFaultRate, *walFaultSeed)
+		}
 	}
 
 	srv := server.New(db.Internal(), server.Config{
@@ -129,6 +165,17 @@ func main() {
 	}
 	if *spillDir != "" {
 		fmt.Fprintf(os.Stderr, "nestedsqld: spill: %v\n", db.SpillStats())
+	}
+	if *dataDir != "" {
+		// Drained: no queries or DML in flight. One final checkpoint
+		// makes the next boot recover from the snapshot alone.
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "nestedsqld: final checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if ws, ok := db.WALStats(); ok {
+			fmt.Fprintf(os.Stderr, "nestedsqld: wal: %v\n", ws)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "nestedsqld: bye")
 }

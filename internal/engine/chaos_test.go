@@ -1,7 +1,9 @@
 package engine_test
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -55,6 +57,73 @@ func chaosRun(t *testing.T, db *engine.DB, sql string, opts engine.Options, roun
 		t.Fatalf("round %d (%s): query hung: %q", round, label, sql)
 		return nil, nil
 	}
+}
+
+// genDML builds a random INSERT, UPDATE, or DELETE against table,
+// sometimes correlating the WHERE clause through a subquery so the
+// decision phase reads other (fault-injected) tables too.
+func genDML(rng *rand.Rand, table string) string {
+	where := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf(" WHERE K = %d", rng.Intn(5))
+		case 1:
+			return fmt.Sprintf(" WHERE V > %d AND W < %d", rng.Intn(4), rng.Intn(6))
+		default:
+			other := []string{"RA", "RB", "RC"}[rng.Intn(3)]
+			return fmt.Sprintf(" WHERE K IN (SELECT K FROM %s WHERE %s.V > %d)",
+				other, other, rng.Intn(4))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("INSERT INTO %s VALUES (%d, %d, %d), (%d, %d, %d)",
+			table, rng.Intn(5), rng.Intn(4), rng.Intn(6),
+			rng.Intn(5), rng.Intn(4), rng.Intn(6))
+	case 1:
+		return fmt.Sprintf("UPDATE %s SET V = %d%s", table, rng.Intn(4), where())
+	default:
+		return fmt.Sprintf("DELETE FROM %s%s", table, where())
+	}
+}
+
+// tableRows reads a base table's contents in heap order. Call with the
+// fault injector disarmed.
+func tableRows(db *engine.DB, table string) []string {
+	f, _ := db.Store().Lookup(table)
+	var out []string
+	f.Scan(func(t storage.Tuple) bool {
+		out = append(out, t.String())
+		return true
+	})
+	return out
+}
+
+// cloneFuzzDB copies the three fuzz tables into a fresh, fault-free
+// database to serve as the DML oracle.
+func cloneFuzzDB(t *testing.T, src *engine.DB) *engine.DB {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestChaosFaultInjection(t *testing.T) {
@@ -140,6 +209,70 @@ func TestChaosFaultInjection(t *testing.T) {
 			if got, want := sortedSet(tr), sortedSet(ni); got != want {
 				t.Fatalf("round %d: post-chaos differential mismatch for %q:\n  got:  %s\n  want: %s",
 					i, sql, got, want)
+			}
+		}
+
+		// DML round: a randomized statement against the same fault
+		// schedule, with base-table tears armed too and a cancellable
+		// SELECT racing it. Whatever the outcome — success, injected
+		// fault, cancellation — the target table must afterwards equal
+		// either its pre-DML contents (atomic failure) or the fault-free
+		// oracle's outcome (success), never something in between, and no
+		// temp file (including the DML shadow) may leak.
+		table := []string{"RA", "RB", "RC"}[rng.Intn(3)]
+		dml := genDML(rng, table)
+		pre := tableRows(db, table)
+		oracle := cloneFuzzDB(t, db)
+		oracleRes, oracleErr := oracle.Exec(dml, engine.Options{})
+		if oracleErr != nil {
+			t.Fatalf("round %d: fault-free oracle DML failed for %q: %v", i, dml, oracleErr)
+		}
+		dmlInj := storage.NewFaultInjector(storage.FaultConfig{
+			Seed:         seed + 1,
+			ReadError:    0.05,
+			WriteTear:    0.3,
+			TearPrefixes: []string{"$tmp", "TEMP", "R"},
+			Latency:      0.01,
+			LatencyDur:   200 * time.Microsecond,
+		})
+		db.Store().SetFaultInjector(dmlInj)
+		cancel := make(chan struct{})
+		selDone := make(chan error, 1)
+		go func() {
+			_, err := db.Query(sql, engine.Options{
+				Strategy: engine.TransformJA2, Timeout: 30 * time.Second, Cancel: cancel,
+			})
+			selDone <- err
+		}()
+		time.AfterFunc(time.Duration(rng.Intn(300))*time.Microsecond, func() { close(cancel) })
+		res, dmlErr := db.Exec(dml, engine.Options{Timeout: 30 * time.Second})
+		if err := <-selDone; err != nil && !cleanChaosErr(err) {
+			t.Fatalf("round %d: unclean error from canceled SELECT during DML: %v", i, err)
+		}
+		db.Store().SetFaultInjector(nil)
+		injectedTotal += dmlInj.Injected()
+		if n := db.Store().TempCount(); n != 0 {
+			t.Fatalf("round %d: DML %q leaked %d temp file(s)", i, dml, n)
+		}
+		got := tableRows(db, table)
+		if dmlErr != nil {
+			faultedErrs++
+			if !cleanChaosErr(dmlErr) {
+				t.Fatalf("round %d: unclean error from faulted DML %q: %v", i, dml, dmlErr)
+			}
+			if !equalRows(got, pre) {
+				t.Fatalf("round %d: failed DML %q left a partial apply:\n  pre:  %v\n  post: %v",
+					i, dml, pre, got)
+			}
+		} else {
+			faultedOKs++
+			if want := tableRows(oracle, table); !equalRows(got, want) {
+				t.Fatalf("round %d: DML %q diverged from fault-free oracle:\n  got:  %v\n  want: %v",
+					i, dml, got, want)
+			}
+			if res.Affected != oracleRes.Affected {
+				t.Fatalf("round %d: DML %q affected %d rows, oracle affected %d",
+					i, dml, res.Affected, oracleRes.Affected)
 			}
 		}
 	}

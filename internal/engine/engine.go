@@ -18,6 +18,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/transform"
+	"repro/internal/wal"
 )
 
 // Strategy selects how a query is evaluated.
@@ -76,6 +78,16 @@ type DB struct {
 
 	spill          *spill.Manager // nil unless EnableSpill was called
 	spillThreshold int64
+
+	// Durability (nil/zero unless EnableDurability was called). dmlMu is
+	// the commit-order lock: DML and Checkpoint hold it exclusively,
+	// queries hold it shared, so readers never see a half-applied
+	// statement and WAL append order equals apply order. Internal
+	// re-runs (noAdmission) skip the shared acquire — they execute
+	// inside a query that already holds it.
+	dmlMu    sync.RWMutex
+	wal      *wal.Log
+	recovery RecoveryInfo
 }
 
 // New creates an empty database with the given buffer pool size (the
@@ -188,8 +200,36 @@ func (db *DB) CreateIndex(table, column string) error {
 func (db *DB) Indexes() *index.Registry { return db.indexes }
 
 // CreateRelation defines a relation and its backing heap file.
-// tuplesPerPage <= 0 uses the storage default.
+// tuplesPerPage <= 0 uses the storage default. With durability enabled
+// it is acknowledged only after the schema record is logged.
 func (db *DB) CreateRelation(rel *schema.Relation, tuplesPerPage int) error {
+	if db.wal == nil {
+		return db.createRelationApply(rel, tuplesPerPage)
+	}
+	commit, err := db.createRelationDurable(rel, tuplesPerPage)
+	if err != nil {
+		return err
+	}
+	return commit.Wait()
+}
+
+func (db *DB) createRelationDurable(rel *schema.Relation, tuplesPerPage int) (wal.Commit, error) {
+	db.dmlMu.Lock()
+	defer db.dmlMu.Unlock()
+	if err := db.wal.Err(); err != nil {
+		return wal.Commit{}, err // poisoned: refuse before touching state
+	}
+	if err := db.createRelationApply(rel, tuplesPerPage); err != nil {
+		return wal.Commit{}, err
+	}
+	sch := &wal.TableSchema{Name: rel.Name, Key: rel.Key, TuplesPerPage: tuplesPerPage}
+	for _, c := range rel.Columns {
+		sch.Columns = append(sch.Columns, wal.TableColumn{Name: c.Name, Kind: uint8(c.Type)})
+	}
+	return db.wal.Append(wal.Record{Type: wal.RecCreateTable, Schema: sch})
+}
+
+func (db *DB) createRelationApply(rel *schema.Relation, tuplesPerPage int) error {
 	if err := db.cat.Define(rel); err != nil {
 		return err
 	}
@@ -202,8 +242,36 @@ func (db *DB) CreateRelation(rel *schema.Relation, tuplesPerPage int) error {
 
 // Insert appends rows to a relation. Call Seal (or run a query, which does
 // not require sealing) when bulk loading is done; Insert seals lazily via
-// the storage layer's accounting only when pages fill.
+// the storage layer's accounting only when pages fill. With durability
+// enabled the rows are applied and logged under the DML lock and the call
+// returns only once the commit record is durable.
 func (db *DB) Insert(relation string, rows ...storage.Tuple) error {
+	if db.wal == nil {
+		return db.insertApply(relation, rows...)
+	}
+	commit, err := db.insertDurable(relation, rows)
+	if err != nil {
+		return err
+	}
+	return commit.Wait()
+}
+
+func (db *DB) insertDurable(relation string, rows []storage.Tuple) (wal.Commit, error) {
+	db.dmlMu.Lock()
+	defer db.dmlMu.Unlock()
+	if err := db.wal.Err(); err != nil {
+		return wal.Commit{}, err // poisoned: refuse before touching state
+	}
+	if err := db.insertApply(relation, rows...); err != nil {
+		return wal.Commit{}, err
+	}
+	if len(rows) == 0 {
+		return wal.Commit{}, nil
+	}
+	return db.wal.Append(wal.Record{Type: wal.RecInsert, Table: relation, Rows: rows})
+}
+
+func (db *DB) insertApply(relation string, rows ...storage.Tuple) error {
 	rel, ok := db.cat.Lookup(relation)
 	if !ok {
 		return fmt.Errorf("engine: unknown relation %s", relation)
@@ -212,10 +280,22 @@ func (db *DB) Insert(relation string, rows ...storage.Tuple) error {
 	if !ok {
 		return fmt.Errorf("engine: relation %s has no storage", relation)
 	}
+	// Validate the whole batch before touching storage, and unwind a
+	// fault panic mid-batch back to the pre-insert boundary: the batch
+	// lands whole or not at all.
 	for _, r := range rows {
 		if len(r) != len(rel.Columns) {
 			return fmt.Errorf("engine: row %v does not match schema of %s", r, relation)
 		}
+	}
+	before := f.NumTuples()
+	defer func() {
+		if r := recover(); r != nil {
+			f.TruncateTo(before)
+			panic(r)
+		}
+	}()
+	for _, r := range rows {
 		f.Append(r)
 	}
 	// Indexes are snapshots of the data at build time.
@@ -300,6 +380,7 @@ type Result struct {
 	Spill    spill.Stats     // spill runs/bytes written by this query
 	Strategy Strategy        // strategy requested
 	FellBack bool            // true if transformation fell back to nested iteration
+	Affected int64           // rows inserted/updated/deleted by Exec DML
 	Profile  classify.QueryProfile
 	Trace    []string // transformation steps and plan notes
 }
@@ -336,6 +417,15 @@ func (db *DB) Query(sql string, opts Options) (*Result, error) {
 
 // run executes one already-admitted (or ungoverned) statement.
 func (db *DB) run(sql string, opts Options) (*Result, error) {
+	if db.wal != nil && !opts.noAdmission {
+		// Shared commit-order lock: a query never observes a DML
+		// statement half-applied, and a checkpoint never snapshots one.
+		// Internal oracle re-runs (noAdmission) already execute under
+		// the outer query's hold — a recursive RLock could deadlock
+		// against a writer, so they must not re-acquire.
+		db.dmlMu.RLock()
+		defer db.dmlMu.RUnlock()
+	}
 	if opts.Sink != nil {
 		if opts.VerifyParallel {
 			return nil, fmt.Errorf("engine: streaming sink is incompatible with VerifyParallel")
@@ -469,6 +559,14 @@ func (db *DB) run(sql string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Stats = db.store.Stats().Sub(before)
+	if db.wal != nil {
+		// Surface the durability counters in EXPLAIN, next to the spill
+		// line; recovery counters ride along after a boot that replayed.
+		res.Trace = append(res.Trace, "durability: "+db.wal.Stats().String())
+		if db.recovery.Recovered() {
+			res.Trace = append(res.Trace, "durability: "+db.recovery.String())
+		}
+	}
 	if opts.VerifyParallel && parallelRequested(opts) && !res.FellBack &&
 		(opts.Strategy == TransformJA2 || opts.Strategy == TransformKim) {
 		if err := db.verifyParallel(sql, qb, opts, res); err != nil {

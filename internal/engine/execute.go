@@ -9,20 +9,25 @@ import (
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // Exec runs a script of semicolon-separated statements: CREATE TABLE,
-// INSERT INTO, DELETE FROM, UPDATE, and SELECT. It returns the result of
-// the last SELECT (nil if the script contains none). DDL and DML take
-// effect immediately; a failing statement aborts the script with prior
-// statements applied (no transactional rollback — the paper's world has
-// none either).
+// INSERT INTO, DELETE FROM, UPDATE, and SELECT. The returned result is
+// the last SELECT's (with Affected accumulating every DML statement's
+// row count), or a bare Result carrying only Affected when the script
+// has no SELECT. DDL and DML take effect immediately; a failing
+// statement aborts the script with prior statements applied (no
+// transactional rollback — the paper's world has none either). With
+// durability enabled each DML statement is acknowledged only once its
+// commit record is durable.
 func (db *DB) Exec(script string, opts Options) (*Result, error) {
 	stmts, err := sqlparser.ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
+	var affected int64
 	for _, stmt := range stmts {
 		switch stmt := stmt.(type) {
 		case *sqlparser.CreateTableStmt:
@@ -30,19 +35,25 @@ func (db *DB) Exec(script string, opts Options) (*Result, error) {
 				return nil, err
 			}
 		case *sqlparser.InsertStmt:
-			if err := contain(func() error { return db.execInsert(stmt) }); err != nil {
+			var n int
+			if err := contain(func() error { var err error; n, err = db.execInsert(stmt); return err }); err != nil {
 				return nil, err
 			}
+			affected += int64(n)
 		case *sqlparser.DeleteStmt:
-			err := contain(func() error { _, err := db.execDelete(stmt); return err })
+			var n int
+			err := contain(func() error { var err error; n, err = db.execDelete(stmt); return err })
 			if err != nil {
 				return nil, err
 			}
+			affected += int64(n)
 		case *sqlparser.UpdateStmt:
-			err := contain(func() error { _, err := db.execUpdate(stmt); return err })
+			var n int
+			err := contain(func() error { var err error; n, err = db.execUpdate(stmt); return err })
 			if err != nil {
 				return nil, err
 			}
+			affected += int64(n)
 		case *sqlparser.SelectStmt:
 			res, err := db.Query(stmt.Query.String(), opts)
 			if err != nil {
@@ -53,34 +64,57 @@ func (db *DB) Exec(script string, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 		}
 	}
+	if last == nil {
+		last = &Result{Strategy: opts.Strategy}
+	}
+	last.Affected = affected
 	return last, nil
 }
 
+// ExecSQL is the statement entry point for the network server: SELECTs
+// stream through Query (admission, sinks, strategies), everything else
+// goes through Exec. Unlike Query it accepts any statement kind.
+func (db *DB) ExecSQL(sql string, opts Options) (*Result, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 1 {
+		if sel, ok := stmts[0].(*sqlparser.SelectStmt); ok {
+			return db.Query(sel.Query.String(), opts)
+		}
+	}
+	return db.Exec(sql, opts)
+}
+
 // execInsert type-checks literals against the table schema (coercing
-// string literals to dates for DATE columns) and appends the rows.
-func (db *DB) execInsert(stmt *sqlparser.InsertStmt) error {
+// string literals to dates for DATE columns) and appends the rows as
+// one batch — with durability enabled, one commit record.
+func (db *DB) execInsert(stmt *sqlparser.InsertStmt) (int, error) {
 	rel, ok := db.cat.Lookup(stmt.Table)
 	if !ok {
-		return fmt.Errorf("engine: unknown relation %s", stmt.Table)
+		return 0, fmt.Errorf("engine: unknown relation %s", stmt.Table)
 	}
-	for _, row := range stmt.Rows {
+	rows := make([]storage.Tuple, len(stmt.Rows))
+	for ri, row := range stmt.Rows {
 		if len(row) != len(rel.Columns) {
-			return fmt.Errorf("engine: INSERT row has %d values, %s has %d columns",
+			return 0, fmt.Errorf("engine: INSERT row has %d values, %s has %d columns",
 				len(row), rel.Name, len(rel.Columns))
 		}
 		t := make(storage.Tuple, len(row))
 		for i, v := range row {
 			cv, err := coerceInsertValue(v, rel.Columns[i].Type)
 			if err != nil {
-				return fmt.Errorf("engine: column %s of %s: %w", rel.Columns[i].Name, rel.Name, err)
+				return 0, fmt.Errorf("engine: column %s of %s: %w", rel.Columns[i].Name, rel.Name, err)
 			}
 			t[i] = cv
 		}
-		if err := db.Insert(rel.Name, t); err != nil {
-			return err
-		}
+		rows[ri] = t
 	}
-	return db.Seal(stmt.Table)
+	if err := db.Insert(rel.Name, rows...); err != nil {
+		return 0, err
+	}
+	return len(rows), db.Seal(stmt.Table)
 }
 
 // resolveDMLWhere resolves a DELETE/UPDATE WHERE clause by wrapping it in
@@ -109,31 +143,45 @@ func (db *DB) resolveDMLWhere(table string, where []ast.Predicate) (*schema.Rela
 // execDelete removes the rows matching the WHERE clause (all rows when it
 // is absent), returning the count. The predicate supports the full
 // dialect, including nested subqueries, evaluated by nested iteration.
+// Deletion is two-phase — decide every row first, then replace the heap
+// file — so an evaluation error or an injected storage fault mid-decision
+// leaves the table untouched instead of half-rewritten.
 func (db *DB) execDelete(stmt *sqlparser.DeleteStmt) (int, error) {
 	rel, sch, where, err := db.resolveDMLWhere(stmt.Table, stmt.Where)
 	if err != nil {
 		return 0, err
 	}
-	f, _ := db.store.Lookup(rel.Name)
-	ev := exec.NewEvaluator(db.cat, db.store)
-	defer ev.Close()
-	var evalErr error
-	n := f.Rewrite(func(t storage.Tuple) (bool, storage.Tuple) {
+	commit, n, err := db.applyDML(rel.Name, wal.RecDelete, stmt.String(), func(f *storage.HeapFile) (int, error) {
+		ev := exec.NewEvaluator(db.cat, db.store)
+		defer ev.Close()
+		var kept []storage.Tuple
+		removed := 0
+		var evalErr error
+		f.Scan(func(t storage.Tuple) bool {
+			match, err := ev.Qualifies(where, sch, t)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if match {
+				removed++
+			} else {
+				kept = append(kept, t.Clone())
+			}
+			return true
+		})
 		if evalErr != nil {
-			return true, nil
+			return 0, evalErr
 		}
-		match, err := ev.Qualifies(where, sch, t)
-		if err != nil {
-			evalErr = err
-			return true, nil
+		if removed > 0 {
+			f.Replace(kept)
 		}
-		return !match, nil
+		return removed, nil
 	})
-	if evalErr != nil {
-		return 0, evalErr
+	if err != nil {
+		return 0, err
 	}
-	db.indexes.DropRelation(rel.Name)
-	return n, nil
+	return n, commit.Wait()
 }
 
 // execUpdate assigns the SET literals to the rows matching the WHERE
@@ -159,33 +207,74 @@ func (db *DB) execUpdate(stmt *sqlparser.UpdateStmt) (int, error) {
 		}
 		sets[i] = setIdx{pos: pos, val: v}
 	}
-	f, _ := db.store.Lookup(rel.Name)
-	ev := exec.NewEvaluator(db.cat, db.store)
-	defer ev.Close()
-	var evalErr error
-	n := f.Rewrite(func(t storage.Tuple) (bool, storage.Tuple) {
+	commit, n, err := db.applyDML(rel.Name, wal.RecUpdate, stmt.String(), func(f *storage.HeapFile) (int, error) {
+		ev := exec.NewEvaluator(db.cat, db.store)
+		defer ev.Close()
+		var rows []storage.Tuple
+		changed := 0
+		var evalErr error
+		f.Scan(func(t storage.Tuple) bool {
+			match, err := ev.Qualifies(where, sch, t)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			nt := t.Clone()
+			if match {
+				changed++
+				for _, si := range sets {
+					nt[si.pos] = si.val
+				}
+			}
+			rows = append(rows, nt)
+			return true
+		})
 		if evalErr != nil {
-			return true, nil
+			return 0, evalErr
 		}
-		match, err := ev.Qualifies(where, sch, t)
-		if err != nil {
-			evalErr = err
-			return true, nil
+		if changed > 0 {
+			f.Replace(rows)
 		}
-		if !match {
-			return true, nil
-		}
-		nt := t.Clone()
-		for _, si := range sets {
-			nt[si.pos] = si.val
-		}
-		return true, nt
+		return changed, nil
 	})
-	if evalErr != nil {
-		return 0, evalErr
+	if err != nil {
+		return 0, err
 	}
-	db.indexes.DropRelation(rel.Name)
-	return n, nil
+	return n, commit.Wait()
+}
+
+// applyDML runs a DELETE/UPDATE body under the durability discipline:
+// with the WAL enabled it holds the exclusive DML lock across decide,
+// apply, and log append (so log order equals apply order), then hands
+// the commit back for the caller to Wait on outside the lock. The body
+// is two-phase by contract — it must not mutate the heap file before
+// its row decisions are complete — so errors and injected fault panics
+// (which unwind through the deferred unlock) leave the table intact.
+// Mutations that touched no rows are not logged.
+func (db *DB) applyDML(table string, rt wal.RecType, sql string, body func(*storage.HeapFile) (int, error)) (wal.Commit, int, error) {
+	f, _ := db.store.Lookup(table)
+	if db.wal == nil {
+		n, err := body(f)
+		if err == nil && n > 0 {
+			db.indexes.DropRelation(table)
+		}
+		return wal.Commit{}, n, err
+	}
+	db.dmlMu.Lock()
+	defer db.dmlMu.Unlock()
+	if err := db.wal.Err(); err != nil {
+		return wal.Commit{}, 0, err // poisoned: refuse before touching state
+	}
+	n, err := body(f)
+	if err != nil || n == 0 {
+		return wal.Commit{}, n, err
+	}
+	db.indexes.DropRelation(table)
+	commit, err := db.wal.Append(wal.Record{Type: rt, SQL: sql})
+	if err != nil {
+		return wal.Commit{}, n, err
+	}
+	return commit, n, nil
 }
 
 func coerceInsertValue(v value.Value, want value.Kind) (value.Value, error) {

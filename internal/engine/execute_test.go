@@ -53,14 +53,27 @@ func TestExecMultipleInsertsSameTable(t *testing.T) {
 	}
 }
 
-func TestExecNoSelectReturnsNil(t *testing.T) {
+func TestExecNoSelectReturnsAffected(t *testing.T) {
 	db := engine.New(8)
-	res, err := db.Exec(`CREATE TABLE T (X INT); INSERT INTO T VALUES (1)`, engine.Options{})
+	res, err := db.Exec(`CREATE TABLE T (X INT); INSERT INTO T VALUES (1), (2), (3)`, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res != nil {
-		t.Errorf("res = %+v, want nil", res)
+	if res == nil {
+		t.Fatal("res = nil, want bare result with Affected")
+	}
+	if len(res.Columns) != 0 || len(res.Rows) != 0 {
+		t.Errorf("res has rows/columns: %+v", res)
+	}
+	if res.Affected != 3 {
+		t.Errorf("Affected = %d, want 3", res.Affected)
+	}
+	res, err = db.Exec(`UPDATE T SET X = 9 WHERE X >= 2; SELECT T.X FROM T WHERE T.X = 9`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 || len(res.Rows) != 2 {
+		t.Errorf("Affected = %d rows = %d, want 2 and 2", res.Affected, len(res.Rows))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/schema"
 	"repro/internal/storage"
@@ -46,6 +47,13 @@ const imageMagic = "nestedsql-snapshot-v1"
 func (db *DB) Save(w io.Writer) error {
 	img := image{Magic: imageMagic, BufferPages: db.store.BufferPages()}
 	for _, name := range db.cat.Names() {
+		if strings.Contains(name, "#") {
+			// A per-query TEMPn#qN materialization: transient by
+			// definition, never part of a snapshot. None should exist
+			// when snapshotting under the exclusive DML lock; this is a
+			// belt against an abandoned temp from a failed query.
+			continue
+		}
 		rel, _ := db.cat.Lookup(name)
 		f, ok := db.store.Lookup(rel.Name)
 		if !ok {
@@ -78,22 +86,32 @@ func Restore(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("engine: restore: not a nestedsql snapshot")
 	}
 	db := New(img.BufferPages)
+	if err := applyImage(db, img); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// applyImage loads a decoded snapshot into an (empty) database. WAL
+// recovery reuses it to rebuild state before replaying the log tail;
+// the caller is responsible for suppressing WAL logging while it runs.
+func applyImage(db *DB, img image) error {
 	for _, ir := range img.Relations {
 		rel := &schema.Relation{Name: ir.Name, Key: ir.Key}
 		for _, c := range ir.Columns {
 			rel.Columns = append(rel.Columns, schema.Column{Name: c.Name, Type: value.Kind(c.Kind)})
 		}
 		if err := db.CreateRelation(rel, ir.TuplesPerPage); err != nil {
-			return nil, err
+			return err
 		}
 		for _, row := range ir.Rows {
 			if err := db.Insert(ir.Name, row); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if err := db.Seal(ir.Name); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return db, nil
+	return nil
 }

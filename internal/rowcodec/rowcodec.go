@@ -1,0 +1,125 @@
+// Package rowcodec is the shared binary encoding for tuples at rest: a
+// uvarint column count followed by one kind-tagged value per column.
+// The spill run files (internal/spill) and the write-ahead log
+// (internal/wal) both frame sequences of these payloads with a uint32
+// length prefix and a CRC32C trailer, mirroring the wire protocol's
+// codec shape (internal/wire) — one encoding, three consumers, so a
+// tuple that round-trips in one subsystem round-trips in all of them.
+package rowcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// MaxLen caps one encoded payload. Anything larger in a length prefix is
+// treated as corruption rather than attempted as an allocation.
+const MaxLen = 1 << 28
+
+// AppendTuple appends the encoding of t to dst: uvarint column count,
+// then per column a kind byte followed by the payload — varint for
+// integers and dates (dates as their year*10000+month*100+day encoding),
+// 8-byte big-endian IEEE bits for floats, uvarint-length-prefixed bytes
+// for strings, nothing for NULL.
+func AppendTuple(dst []byte, t storage.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.Kind()))
+		switch v.Kind() {
+		case value.KindNull:
+		case value.KindInt:
+			dst = binary.AppendVarint(dst, v.Int())
+		case value.KindFloat:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+			dst = append(dst, b[:]...)
+		case value.KindString:
+			s := v.Str()
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		case value.KindDate:
+			d := v.DateOf()
+			dst = binary.AppendVarint(dst, int64(d.Year())*10000+int64(d.Month())*100+int64(d.Day()))
+		}
+	}
+	return dst
+}
+
+// DecodeTuple parses one payload produced by AppendTuple, rejecting any
+// malformed input with an error (never a panic). The whole payload must
+// be consumed: trailing bytes are corruption.
+func DecodeTuple(p []byte) (storage.Tuple, error) {
+	t, rest, err := decode(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("trailing bytes")
+	}
+	return t, nil
+}
+
+// DecodeTuplePrefix parses one tuple from the front of p, returning the
+// remainder — for payloads that carry several tuples back to back.
+func DecodeTuplePrefix(p []byte) (storage.Tuple, []byte, error) {
+	return decode(p)
+}
+
+func decode(p []byte) (storage.Tuple, []byte, error) {
+	ncols, n := binary.Uvarint(p)
+	if n <= 0 || ncols > uint64(MaxLen) {
+		return nil, nil, fmt.Errorf("bad column count")
+	}
+	p = p[n:]
+	t := make(storage.Tuple, ncols)
+	for i := range t {
+		if len(p) == 0 {
+			return nil, nil, fmt.Errorf("short value")
+		}
+		kind := value.Kind(p[0])
+		p = p[1:]
+		switch kind {
+		case value.KindNull:
+			t[i] = value.Null
+		case value.KindInt:
+			x, n := binary.Varint(p)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("bad int")
+			}
+			p = p[n:]
+			t[i] = value.NewInt(x)
+		case value.KindFloat:
+			if len(p) < 8 {
+				return nil, nil, fmt.Errorf("short float")
+			}
+			t[i] = value.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(p[:8])))
+			p = p[8:]
+		case value.KindString:
+			l, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p)-n) < l {
+				return nil, nil, fmt.Errorf("bad string length")
+			}
+			p = p[n:]
+			t[i] = value.NewString(string(p[:l]))
+			p = p[l:]
+		case value.KindDate:
+			enc, n := binary.Varint(p)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("bad date")
+			}
+			p = p[n:]
+			d, err := value.NewDate(int(enc/10000), int(enc/100)%100, int(enc%100))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad date payload")
+			}
+			t[i] = value.NewDateValue(d)
+		default:
+			return nil, nil, fmt.Errorf("unknown kind %d", kind)
+		}
+	}
+	return t, p, nil
+}

@@ -258,7 +258,12 @@ func (s *session) runQuery(q wire.Query) bool {
 		},
 	}
 
-	res, err := s.srv.db.Query(q.SQL, opts)
+	// ExecSQL routes a single SELECT through the streaming query path
+	// (sink above) and everything else — DDL and DML — through Exec,
+	// which acknowledges only after the commit record is durable when a
+	// WAL is enabled. DML answers with an empty column set and its
+	// affected-row count riding the Done frame's Rows field.
+	res, err := s.srv.db.ExecSQL(q.SQL, opts)
 	if err != nil {
 		if batchErr != nil {
 			// The write path failed, not the query. A stalled consumer
@@ -286,6 +291,9 @@ func (s *session) runQuery(q wire.Query) bool {
 		Reads:    res.Stats.Reads,
 		Writes:   res.Stats.Writes,
 		FellBack: res.FellBack,
+	}
+	if len(res.Columns) == 0 && sent == 0 {
+		done.Rows = res.Affected
 	}
 	if err := s.writeFrame(wire.FrameDone, wire.EncodeDone(done)); err != nil {
 		return false

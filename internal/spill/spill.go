@@ -27,15 +27,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/qctx"
+	"repro/internal/rowcodec"
 	"repro/internal/storage"
-	"repro/internal/value"
 )
 
 // castagnoli is the CRC32C table, the same polynomial the wire protocol
@@ -236,7 +235,7 @@ func (w *Writer) Append(t storage.Tuple) error {
 			return err
 		}
 	}
-	payload := encodeTuple(w.scratch[:0], t)
+	payload := rowcodec.AppendTuple(w.scratch[:0], t)
 	w.scratch = payload // reuse the allocation across rows
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -358,7 +357,7 @@ func (rd *Reader) Next() (storage.Tuple, error) {
 	if crc32.Checksum(payload, castagnoli) != crc {
 		return nil, corruptf(rd.r.path, "checksum mismatch")
 	}
-	t, err := decodeTuple(payload)
+	t, err := rowcodec.DecodeTuple(payload)
 	if err != nil {
 		return nil, corruptf(rd.r.path, "%v", err)
 	}
@@ -372,90 +371,6 @@ func corruptf(path, format string, args ...any) error {
 	return fmt.Errorf("spill: run %s: %s: %w", filepath.Base(path), fmt.Sprintf(format, args...), qctx.ErrSpillCorrupt)
 }
 
-// encodeTuple appends the wire-shaped encoding of t to dst: uvarint
-// column count, then per column a kind byte followed by the payload —
-// varint for integers and dates (dates as their year*10000+month*100+day
-// encoding), 8-byte big-endian IEEE bits for floats, uvarint-length-
-// prefixed bytes for strings, nothing for NULL.
-func encodeTuple(dst []byte, t storage.Tuple) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(t)))
-	for _, v := range t {
-		dst = append(dst, byte(v.Kind()))
-		switch v.Kind() {
-		case value.KindNull:
-		case value.KindInt:
-			dst = binary.AppendVarint(dst, v.Int())
-		case value.KindFloat:
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
-			dst = append(dst, b[:]...)
-		case value.KindString:
-			s := v.Str()
-			dst = binary.AppendUvarint(dst, uint64(len(s)))
-			dst = append(dst, s...)
-		case value.KindDate:
-			d := v.DateOf()
-			dst = binary.AppendVarint(dst, int64(d.Year())*10000+int64(d.Month())*100+int64(d.Day()))
-		}
-	}
-	return dst
-}
-
-// decodeTuple parses one payload back into a tuple.
-func decodeTuple(p []byte) (storage.Tuple, error) {
-	ncols, n := binary.Uvarint(p)
-	if n <= 0 || ncols > uint64(maxRecordLen) {
-		return nil, fmt.Errorf("bad column count")
-	}
-	p = p[n:]
-	t := make(storage.Tuple, ncols)
-	for i := range t {
-		if len(p) == 0 {
-			return nil, fmt.Errorf("short value")
-		}
-		kind := value.Kind(p[0])
-		p = p[1:]
-		switch kind {
-		case value.KindNull:
-			t[i] = value.Null
-		case value.KindInt:
-			x, n := binary.Varint(p)
-			if n <= 0 {
-				return nil, fmt.Errorf("bad int")
-			}
-			p = p[n:]
-			t[i] = value.NewInt(x)
-		case value.KindFloat:
-			if len(p) < 8 {
-				return nil, fmt.Errorf("short float")
-			}
-			t[i] = value.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(p[:8])))
-			p = p[8:]
-		case value.KindString:
-			l, n := binary.Uvarint(p)
-			if n <= 0 || uint64(len(p)-n) < l {
-				return nil, fmt.Errorf("bad string length")
-			}
-			p = p[n:]
-			t[i] = value.NewString(string(p[:l]))
-			p = p[l:]
-		case value.KindDate:
-			enc, n := binary.Varint(p)
-			if n <= 0 {
-				return nil, fmt.Errorf("bad date")
-			}
-			p = p[n:]
-			d, err := value.NewDate(int(enc/10000), int(enc/100)%100, int(enc%100))
-			if err != nil {
-				return nil, fmt.Errorf("bad date payload")
-			}
-			t[i] = value.NewDateValue(d)
-		default:
-			return nil, fmt.Errorf("unknown kind %d", kind)
-		}
-	}
-	if len(p) != 0 {
-		return nil, fmt.Errorf("trailing bytes")
-	}
-	return t, nil
-}
+// The tuple payload encoding lives in internal/rowcodec and is shared
+// with the write-ahead log, so a row that round-trips through a spill
+// run round-trips through a WAL record too.

@@ -237,6 +237,53 @@ func (f *HeapFile) Rewrite(keep func(Tuple) (bool, Tuple)) int {
 	return affected
 }
 
+// Replace rebuilds the file from the given rows, invalidating its
+// buffer frames and charging the rebuilt pages as writes. Unlike
+// Rewrite it takes a fully decided row set, so callers can evaluate
+// predicates first (where faults may strike) and mutate only after
+// every decision succeeded. The rebuild goes into a shadow file that is
+// swapped in whole: an injected fault panic during the rebuild unwinds
+// with the original contents intact and the shadow dropped — DML stays
+// all-or-nothing under fault injection.
+func (f *HeapFile) Replace(rows []Tuple) {
+	shadow := f.store.CreateTemp(f.tuplesPerPage)
+	defer f.store.Drop(shadow.name)
+	for _, t := range rows {
+		shadow.Append(t)
+	}
+	shadow.Seal()
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	f.store.pool.invalidate(f)
+	f.store.pool.invalidate(shadow)
+	f.pages = shadow.pages
+	f.nTuples = shadow.nTuples
+	f.sealed = true
+	shadow.pages = nil
+	shadow.nTuples = 0
+}
+
+// TruncateTo discards every tuple appended after the first n, restoring
+// the file to a prior boundary. Batch loaders use it to unwind a torn
+// append so a failed batch leaves no partial rows behind.
+func (f *HeapFile) TruncateTo(n int) {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	if n < 0 || n >= f.nTuples {
+		return
+	}
+	f.store.pool.invalidate(f)
+	full, rem := n/f.tuplesPerPage, n%f.tuplesPerPage
+	if rem > 0 {
+		f.pages[full].tuples = f.pages[full].tuples[:rem]
+		f.pages = f.pages[:full+1]
+	} else {
+		f.pages = f.pages[:full]
+	}
+	f.nTuples = n
+	f.sealed = false
+}
+
 // pageID identifies a page for the buffer pool.
 type pageID struct {
 	file *HeapFile

@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig tunes the seeded torn-append injector, in the style of
+// storage.FaultInjector and spill.FaultInjector: rates are per-append
+// probabilities, the seed makes a failing run replayable, and MaxFaults
+// bounds how many appends can be cut in one run.
+type FaultConfig struct {
+	Seed int64
+	// TornAppendRate is the probability that an append writes only a
+	// random prefix of its frame to the OS and then poisons the log —
+	// the crash-mid-write case recovery must truncate.
+	TornAppendRate float64
+	// MaxFaults caps injected faults; 0 means unlimited.
+	MaxFaults int
+}
+
+// FaultInjector injects torn WAL appends. Arm it with
+// Log.SetFaultInjector.
+type FaultInjector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    FaultConfig
+	faults int
+}
+
+// NewFaultInjector builds an injector with its own seeded RNG.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Faults reports how many faults fired.
+func (fi *FaultInjector) Faults() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.faults
+}
+
+// tear decides whether to cut an append of frameLen bytes, returning
+// the prefix length to actually write.
+func (fi *FaultInjector) tear(frameLen int) (int, bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.cfg.TornAppendRate <= 0 ||
+		(fi.cfg.MaxFaults > 0 && fi.faults >= fi.cfg.MaxFaults) ||
+		fi.rng.Float64() >= fi.cfg.TornAppendRate {
+		return 0, false
+	}
+	fi.faults++
+	return fi.rng.Intn(frameLen), true
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/spill"
 	"repro/internal/storage"
 	"repro/internal/value"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -63,6 +64,11 @@ var (
 	// or framing on read-back (see WithSpill): the query fails typed —
 	// never returns wrong rows — and its spill files are removed.
 	ErrSpillCorrupt = qctx.ErrSpillCorrupt
+	// ErrWALBroken reports DML refused because a write-ahead log append
+	// failed (see EnableDurability): the in-memory state is ahead of the
+	// log, so writes stay poisoned until Checkpoint re-establishes the
+	// durable image.
+	ErrWALBroken = wal.ErrBroken
 )
 
 // RetryAfter extracts the admission gateway's retry-after hint from an
@@ -247,6 +253,36 @@ func Open(opts ...Option) *DB {
 func (db *DB) EnableSpill(dir string, threshold int64) error {
 	return db.eng.EnableSpill(dir, threshold)
 }
+
+// EnableDurability opens a write-ahead log under dir, recovering any
+// prior state (newest valid snapshot plus WAL tail replay, truncating a
+// torn tail). Call it on a fresh database before loading data; after it
+// returns, every DDL and DML statement is acknowledged only once its
+// commit record is durable, and Checkpoint writes atomic snapshots that
+// retire the log. With fsync false, records reach the OS page cache on
+// ack — surviving process crashes, not host power loss.
+func (db *DB) EnableDurability(dir string, fsync bool) (RecoveryInfo, error) {
+	return db.eng.EnableDurability(dir, wal.Options{Fsync: fsync})
+}
+
+// Checkpoint writes an atomic snapshot of the database and retires the
+// write-ahead log. A no-op without EnableDurability.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RecoveryInfo reports what EnableDurability reconstructed on boot.
+type RecoveryInfo = engine.RecoveryInfo
+
+// RecoveryInfo reports what the last EnableDurability reconstructed.
+func (db *DB) RecoveryInfo() RecoveryInfo { return db.eng.RecoveryInfo() }
+
+// WALStats is a snapshot of write-ahead-log activity: live segments and
+// bytes, appends, group-commit syncs, checkpoints, and whether the log
+// is poisoned.
+type WALStats = wal.Stats
+
+// WALStats reports cumulative write-ahead-log activity; ok is false
+// without EnableDurability.
+func (db *DB) WALStats() (WALStats, bool) { return db.eng.WALStats() }
 
 // SpillStats counts spill activity: run files written and payload bytes
 // in them.
@@ -467,6 +503,7 @@ type Result struct {
 	PageIO   PageIO
 	Spill    SpillStats // spill runs/bytes this query wrote (see WithSpill)
 	FellBack bool       // transformation fell back to nested iteration
+	Affected int64      // rows inserted/updated/deleted by Exec DML
 	Trace    []string   // transformation steps and plan decisions
 }
 
@@ -516,8 +553,9 @@ func goValue(v value.Value) any {
 }
 
 // Exec runs a script of semicolon-separated statements — CREATE TABLE,
-// INSERT INTO, and SELECT — returning the result of the last SELECT (nil
-// if there is none):
+// INSERT INTO, UPDATE, DELETE, and SELECT — returning the result of the
+// last SELECT, with Affected counting every DML statement's rows. A
+// script without a SELECT returns a bare result carrying only Affected:
 //
 //	db.Exec(`
 //	    CREATE TABLE T (X INTEGER, D DATE, PRIMARY KEY (X));
@@ -529,7 +567,7 @@ func (db *DB) Exec(script string, opts ...QueryOption) (*Result, error) {
 		o(&eopts)
 	}
 	res, err := db.eng.Exec(script, eopts)
-	if err != nil || res == nil {
+	if err != nil {
 		return nil, err
 	}
 	out := &Result{
@@ -537,6 +575,7 @@ func (db *DB) Exec(script string, opts ...QueryOption) (*Result, error) {
 		PageIO:   PageIO{Reads: res.Stats.Reads, Writes: res.Stats.Writes},
 		Spill:    res.Spill,
 		FellBack: res.FellBack,
+		Affected: res.Affected,
 		Trace:    res.Trace,
 	}
 	for _, row := range res.Rows {

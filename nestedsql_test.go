@@ -222,13 +222,16 @@ func TestPublicAPIExecScript(t *testing.T) {
 	if len(res.Rows) != 2 || res.Rows[1][1] != int64(99) {
 		t.Errorf("rows = %v", res.Rows)
 	}
-	// DDL-only scripts return nil.
+	if res.Affected != 5 { // 3 inserted + 1 updated + 1 deleted
+		t.Errorf("Affected = %d, want 5", res.Affected)
+	}
+	// DDL-only scripts return a bare result without rows.
 	res, err = db.Exec("CREATE TABLE U (X INTEGER)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res != nil {
-		t.Errorf("DDL-only Exec returned %v", res)
+	if res == nil || len(res.Rows) != 0 || res.Affected != 0 {
+		t.Errorf("DDL-only Exec returned %+v", res)
 	}
 	if _, err := db.Exec("GARBAGE"); err == nil {
 		t.Error("bad script accepted")

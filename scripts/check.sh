@@ -29,6 +29,12 @@ go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 echo "==> go test -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire"
 go test -run '^$' -fuzz FuzzFrameCorruption -fuzztime 10s ./internal/wire
 
+# WAL replay must treat any byte sequence as a possibly-torn log tail:
+# scan to the first invalid record, never panic, never mis-frame. Seeded
+# from the committed golden corpus of truncated/bit-flipped tails.
+echo "==> go test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal"
+go test -run '^$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+
 # Short chaos pass: a reduced-round run of the seeded fault-injection
 # suite (the full 250-round sweep is `make chaos`). -count=1 defeats the
 # test cache so the faults actually execute in this gate.
@@ -56,6 +62,16 @@ go test -race -short -count=1 -run 'TestMemPressureStorm|TestSpillCompletesUnder
 # seeded pass is `make metamorph ROUNDS=...`.
 echo "==> go test -race -run 'TestMetamorph(Short|Faults|TightMemory|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph"
 go test -race -count=1 -run 'TestMetamorph(Short|Faults|TightMemory|CatchesKimMutant)|TestGoldenRepros' ./internal/metamorph
+
+# Short crash-safety gate: the durability suite plus reduced-round
+# crash storms — in-process (abandoned engines, injected WAL tears) and
+# subprocess (a -race daemon SIGKILLed mid-burst, 4 rounds). Recovery
+# must equal exactly the acked commits; no leaked WAL or snapshot
+# files. The full 16-round storm is `make crash`.
+echo "==> go test -race -short -run 'TestDurability|TestCrashStorm|TestGoldenCorpus' ./internal/engine ./internal/wal"
+go test -race -short -count=1 -run 'TestDurability|TestCrashStorm|TestGoldenCorpus' ./internal/engine ./internal/wal
+echo "==> CRASH_STORM_SHORT=1 go test -race -short -run TestCrashStormKill9 ./cmd/nestedsqld"
+CRASH_STORM_SHORT=1 go test -race -short -count=1 -run TestCrashStormKill9 ./cmd/nestedsqld
 
 # Network chaos storm: clients through the seeded fault-injecting proxy
 # (delays, split writes, corruption, truncation, drops, partitions).

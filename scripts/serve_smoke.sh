@@ -17,6 +17,12 @@
 #  3. Kill the CLIENT mid-stream (SIGKILL, no goodbye): the server must
 #     notice the dead peer, release its admission slot, keep serving a
 #     fresh client cleanly, and still exit 0 on SIGTERM.
+#
+#  4. Kill the SERVER (kill -9, no drain) mid-DML-burst with durability
+#     on: a restart against the same -data-dir must recover exactly the
+#     contiguous prefix of acked INSERTs — at most one in-flight
+#     statement beyond the last ack, never a ghost or a gap — and the
+#     recovered server must then shut down cleanly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -112,5 +118,43 @@ kill -TERM "$srv_pid"
 wait "$srv_pid"
 srv_pid=""
 echo "==> phase 3 ok (client SIGKILL absorbed; server served on and exited 0)"
+
+echo "==> phase 4: kill -9 the server mid-DML-burst, restart, verify recovery"
+datadir="$tmp/data"
+"$tmp/nestedsqld" -addr 127.0.0.1:0 -fixture none -data-dir "$datadir" \
+    2>"$tmp/serve4.log" &
+srv_pid=$!
+addr=$(wait_addr "$tmp/serve4.log")
+
+# A burst far larger than one second's worth of round trips, so the
+# kill -9 lands mid-flight. The harness exits 0 when it loses the
+# server, printing how many INSERTs were acknowledged first.
+"$tmp/benchpaper" -serve-dml 500000 -serve-addr "$addr" >"$tmp/dml4.log" 2>&1 &
+load_pid=$!
+sleep 1
+kill -9 "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+wait "$load_pid"   # set -e: a served refusal or bad ack fails the gate
+load_pid=""
+acked=$(sed -n 's/serve-dml: acked \([0-9]*\).*/\1/p' "$tmp/dml4.log")
+if [ -z "$acked" ] || [ "$acked" -le 0 ]; then
+    echo "serve-smoke: DML burst acknowledged nothing before the kill" >&2
+    cat "$tmp/dml4.log" >&2
+    exit 1
+fi
+
+# Restart on the same data directory: recovery must yield the acked
+# prefix exactly (plus at most the one in-flight INSERT), and the
+# recovered server must still drain and exit 0.
+"$tmp/nestedsqld" -addr 127.0.0.1:0 -fixture none -data-dir "$datadir" \
+    2>"$tmp/serve4b.log" &
+srv_pid=$!
+addr=$(wait_addr "$tmp/serve4b.log")
+"$tmp/benchpaper" -serve-dml-verify "$acked" -serve-addr "$addr"
+kill -TERM "$srv_pid"
+wait "$srv_pid"
+srv_pid=""
+echo "==> phase 4 ok (kill -9 mid-burst; restart recovered exactly the acked prefix)"
 
 echo "==> serve-smoke passed"
