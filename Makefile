@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm memstorm netchaos crash serve-smoke metamorph bench
+.PHONY: check vet build test race fuzz chaos storm memstorm netchaos cluster crash serve-smoke metamorph bench
 
-check: vet build race fuzz chaos storm memstorm netchaos crash serve-smoke
+check: vet build race fuzz chaos storm memstorm netchaos cluster crash serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,16 @@ crash:
 # typed; no goroutine, admission-slot, or pool-lease leaks afterwards.
 netchaos:
 	$(GO) test -race -count=1 -v -run TestNetChaosStorm ./internal/server
+
+# The distributed gate: NEST-JA2 and the rest of the distributable mix
+# on 3 sharded workers, byte-diffed (canonically sorted) against the
+# single-node sequential oracle under both placements (co-located and
+# shuffle-forcing), plus the multi-node chaos storm — every worker link
+# behind a seeded fault proxy while a coordinator-fronted server takes
+# outer clients. Completed results must equal the oracle; failures must
+# be typed; workers must quiesce; no goroutine leaks.
+cluster:
+	$(GO) test -race -count=1 -v -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster
 
 # End-to-end serving gate: boots nestedsqld on a random port, streams
 # the paper workload through the Go client from 8 concurrent

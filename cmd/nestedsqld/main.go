@@ -12,6 +12,18 @@
 // accepting connections, lets in-flight queries finish streaming for up
 // to -drain-timeout, then closes every connection and exits 0.
 //
+// With -coordinator the same binary fronts a cluster instead of an
+// engine: it dials the listed workers (plain nestedsqld instances — any
+// daemon is a worker, the cluster feature is always negotiated), shards
+// CREATE/INSERT across them by hash of each table's partition key, and
+// answers distributable queries by shuffling misplaced tables and
+// gathering per-shard results. Start the workers first, empty:
+//
+//	nestedsqld -addr 127.0.0.1:5001 -fixture none &
+//	nestedsqld -addr 127.0.0.1:5002 -fixture none &
+//	nestedsqld -addr 127.0.0.1:4045 \
+//	  -coordinator 127.0.0.1:5001,127.0.0.1:5002 -place SP=SNO
+//
 // It prints "listening on ADDR" to stderr once the socket is open, so
 // scripts using -addr 127.0.0.1:0 can discover the port.
 package main
@@ -22,10 +34,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	nestedsql "repro"
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -60,11 +75,49 @@ func main() {
 	fsync := flag.Bool("fsync", false, "durability: fsync every commit batch (with -data-dir); off = commits survive a process crash, not host power loss")
 	walFaultRate := flag.Float64("wal-fault-rate", 0, "testing: probability that a WAL append tears mid-record and poisons the log")
 	walFaultSeed := flag.Int64("wal-fault-seed", 1, "testing: seed for -wal-fault-rate")
+	coordinator := flag.String("coordinator", "", "run as cluster coordinator over these comma-separated worker addresses (no local engine)")
+	place := flag.String("place", "", "coordinator: comma-separated TABLE=COL partition-key overrides (default: each table's first key column)")
+	ioTimeout := flag.Duration("io-timeout", 10*time.Second, "coordinator: per-frame deadline on worker connections")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
 	if !ok {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	srvCfg := server.Config{
+		BatchRows:         *batchRows,
+		MaxTimeout:        *maxTimeout,
+		MaxRows:           *maxRows,
+		Strategy:          strat,
+		Parallelism:       *parallel,
+		WriteTimeout:      *writeDeadline,
+		HeartbeatInterval: *heartbeat,
+		DisableChecksum:   *noChecksum,
+		DisableHeartbeat:  *noHeartbeat,
+	}
+
+	if *coordinator != "" {
+		// Coordinator mode has no local engine, so engine-only flags are
+		// a configuration error, not something to silently ignore.
+		engineOnly := map[string]bool{
+			"fixture": true, "buffer": true, "max-concurrent": true,
+			"queue-depth": true, "mem-pool": true, "spill-dir": true,
+			"spill-threshold": true, "data-dir": true, "fsync": true,
+			"wal-fault-rate": true, "wal-fault-seed": true,
+		}
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			if engineOnly[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			fail(fmt.Errorf("coordinator mode has no local engine; drop %s (workers own storage)",
+				strings.Join(bad, ", ")))
+		}
+		runCoordinator(*coordinator, *place, *ioTimeout, srvCfg, *addr, *drainTimeout)
+		return
 	}
 
 	// Admission is always on: it is the drain mechanism behind graceful
@@ -128,41 +181,8 @@ func main() {
 		}
 	}
 
-	srv := server.New(db.Internal(), server.Config{
-		BatchRows:         *batchRows,
-		MaxTimeout:        *maxTimeout,
-		MaxRows:           *maxRows,
-		Strategy:          strat,
-		Parallelism:       *parallel,
-		WriteTimeout:      *writeDeadline,
-		HeartbeatInterval: *heartbeat,
-		DisableChecksum:   *noChecksum,
-		DisableHeartbeat:  *noHeartbeat,
-	})
-	lis, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "nestedsqld: listening on %s\n", lis.Addr())
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
-	shutdownErr := make(chan error, 1)
-	go func() {
-		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "nestedsqld: %v; draining (up to %s)\n", sig, *drainTimeout)
-		shutdownErr <- srv.Shutdown(*drainTimeout)
-	}()
-
-	if err := srv.Serve(lis); err != nil {
-		fail(err)
-	}
-	// Serve returned nil, so a signal triggered Shutdown; report how the
-	// drain went but exit 0 either way — stragglers were canceled, not
-	// leaked.
-	if err := <-shutdownErr; err != nil {
-		fmt.Fprintf(os.Stderr, "nestedsqld: drain: %v\n", err)
-	}
+	srv := server.New(db.Internal(), srvCfg)
+	serveLoop(srv, *addr, *drainTimeout)
 	if *spillDir != "" {
 		fmt.Fprintf(os.Stderr, "nestedsqld: spill: %v\n", db.SpillStats())
 	}
@@ -178,6 +198,89 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "nestedsqld: bye")
+}
+
+// serveLoop runs srv on addr until SIGTERM/SIGINT triggers a drain. It
+// returns (rather than exiting) so each mode can print its epilogue.
+func serveLoop(srv *server.Server, addr string, drainTimeout time.Duration) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "nestedsqld: listening on %s\n", lis.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "nestedsqld: %v; draining (up to %s)\n", sig, drainTimeout)
+		shutdownErr <- srv.Shutdown(drainTimeout)
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		fail(err)
+	}
+	// Serve returned nil, so a signal triggered Shutdown; report how the
+	// drain went but exit 0 either way — stragglers were canceled, not
+	// leaked.
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintf(os.Stderr, "nestedsqld: drain: %v\n", err)
+	}
+}
+
+// runCoordinator fronts a worker fleet with the same wire protocol a
+// single-node daemon speaks: clients cannot tell (and need not care)
+// that results are gathered from shards.
+func runCoordinator(workerList, placeList string, ioTimeout time.Duration, cfg server.Config, addr string, drainTimeout time.Duration) {
+	workers := splitNonEmpty(workerList)
+	if len(workers) == 0 {
+		fail(fmt.Errorf("-coordinator needs at least one worker address"))
+	}
+	placement := map[string]string{}
+	for _, kv := range splitNonEmpty(placeList) {
+		table, col, ok := strings.Cut(kv, "=")
+		if !ok || table == "" || col == "" {
+			fail(fmt.Errorf("-place entry %q is not TABLE=COL", kv))
+		}
+		placement[strings.ToUpper(strings.TrimSpace(table))] =
+			strings.ToUpper(strings.TrimSpace(col))
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:   workers,
+		Placement: placement,
+		IOTimeout: ioTimeout,
+		// Worker links are long-lived; ride out a restarting worker
+		// rather than poisoning the whole cluster on one lost TCP conn.
+		Reconnect: &client.ReconnectConfig{MaxAttempts: 5},
+	})
+	if err != nil {
+		fail(fmt.Errorf("coordinator: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "nestedsqld: coordinating %d workers: %s\n",
+		co.NumWorkers(), strings.Join(workers, ", "))
+
+	serveLoop(server.NewBackend(co, cfg), addr, drainTimeout)
+
+	counts := co.GatherCounts()
+	for i, n := range counts {
+		fmt.Fprintf(os.Stderr, "nestedsqld: worker %d (%s): %d gathers\n", i, workers[i], n)
+	}
+	if err := co.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "nestedsqld: coordinator close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "nestedsqld: bye")
+}
+
+// splitNonEmpty splits a comma list, trimming blanks away.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func mustLoad(db *nestedsql.DB, f nestedsql.Fixture) {

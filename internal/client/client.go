@@ -131,6 +131,7 @@ type transport struct {
 
 	codec     wire.Codec
 	heartbeat bool
+	cluster   bool
 
 	recv    chan recvMsg
 	done    chan struct{} // closed by the pump when reading ends
@@ -261,6 +262,9 @@ func dialOnce(addr string, opts DialOptions, legacy bool) (*transport, error) {
 		if !opts.DisableHeartbeat {
 			h.Flags |= wire.FeatureHeartbeat
 		}
+		// Always offered; only worker servers (those fronting a local
+		// engine) grant it back.
+		h.Flags |= wire.FeatureCluster
 	}
 	// The Hello exchange is always plain framing; the negotiated codec
 	// takes over afterwards.
@@ -309,6 +313,7 @@ func dialOnce(addr string, opts DialOptions, legacy bool) (*transport, error) {
 		bw:        bw,
 		codec:     wire.Codec{Checksums: granted&wire.FeatureChecksum != 0},
 		heartbeat: granted&wire.FeatureHeartbeat != 0,
+		cluster:   granted&wire.FeatureCluster != 0,
 		recv:      make(chan recvMsg),
 		done:      make(chan struct{}),
 		quit:      make(chan struct{}),
@@ -331,6 +336,10 @@ func (c *Conn) Checksums() bool { return c.tr.codec.Checksums }
 
 // Heartbeats reports whether the server granted heartbeat liveness.
 func (c *Conn) Heartbeats() bool { return c.tr.heartbeat }
+
+// Cluster reports whether the server granted the shard scatter/gather
+// feature — true only for servers fronting a local engine (workers).
+func (c *Conn) Cluster() bool { return c.tr.cluster }
 
 // Options are the per-query knobs carried in the Query frame. Zero
 // values defer to the server's configuration.
@@ -509,12 +518,17 @@ func (s *Stream) fetch() bool {
 			s.conn.tr.close()
 			s.conn.poison(qctx.ErrCanceled)
 			s.fail(qctx.ErrCanceled)
+			// Detach: the response is undeliverable and the conn poisoned;
+			// a long-lived caller that heals the conn by redialing must
+			// not find a dead stream still registered as active.
+			s.finish()
 			return false
 		case <-timeout:
 			s.conn.tr.close()
 			err := fmt.Errorf("client: no frame within %v: %w", s.conn.opts.IOTimeout, ErrConnectionLost)
 			s.conn.poison(err)
 			s.fail(err)
+			s.finish()
 			return false
 		}
 	}
@@ -629,6 +643,96 @@ func (s *Stream) Close() error {
 		s.fetch()
 	}
 	return s.err
+}
+
+// Scatter sends one ShardQuery and consumes the shard stream: fn is
+// called for every partition-tagged ShardBatch in arrival order, and the
+// worker's ShardDone summary is returned on success. Unlike Query,
+// Scatter never resubmits after a connection loss — a shuffle is
+// coordinated above this layer, where a partial scatter must be torn
+// down (staging tables dropped), not silently retried with rows already
+// landed.
+func (c *Conn) Scatter(q wire.ShardQuery, fn func(wire.ShardBatch) error) (wire.ShardDone, error) {
+	var zero wire.ShardDone
+	if c.err != nil {
+		if !c.canReconnect() || !errors.Is(c.err, ErrConnectionLost) {
+			return zero, c.err
+		}
+		if err := c.redial(nil); err != nil {
+			return zero, c.poison(err)
+		}
+		c.err = nil
+	}
+	if c.active != nil {
+		return zero, errors.New("client: previous stream not closed")
+	}
+	if !c.Cluster() {
+		return zero, errors.New("client: server did not grant the cluster feature")
+	}
+	if err := c.tr.write(wire.FrameShardQuery, wire.EncodeShardQuery(q), 0); err != nil {
+		return zero, c.poison(&ConnectionLostError{Cause: err})
+	}
+	var tm *time.Timer
+	var timeout <-chan time.Time
+	if io := c.opts.IOTimeout; io > 0 {
+		tm = time.NewTimer(io)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	for {
+		tr := c.tr
+		if tm != nil {
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			tm.Reset(c.opts.IOTimeout)
+		}
+		select {
+		case m := <-tr.recv:
+			switch m.typ {
+			case wire.FrameShardBatch:
+				b, err := wire.DecodeShardBatch(m.payload)
+				if err != nil {
+					return zero, c.poison(err)
+				}
+				if err := fn(b); err != nil {
+					// The consumer bailed with frames still in flight; this
+					// transport cannot be reused mid-stream. Mark it lost so
+					// a reconnect-configured conn heals on its next use.
+					c.tr.close()
+					c.poison(&ConnectionLostError{Cause: err})
+					return zero, err
+				}
+			case wire.FrameShardDone:
+				d, err := wire.DecodeShardDone(m.payload)
+				if err != nil {
+					return zero, c.poison(err)
+				}
+				return d, nil
+			case wire.FrameError:
+				f, err := wire.DecodeError(m.payload)
+				if err != nil {
+					return zero, c.poison(err)
+				}
+				rerr := &wire.RemoteError{Frame: f}
+				c.noteOverload(rerr)
+				// A typed query failure leaves the connection usable.
+				return zero, rerr
+			default:
+				return zero, c.poison(fmt.Errorf("client: unexpected frame 0x%02x during scatter", m.typ))
+			}
+		case <-tr.done:
+			lost := &ConnectionLostError{Cause: tr.readErr}
+			return zero, c.poison(lost)
+		case <-timeout:
+			c.tr.close()
+			err := fmt.Errorf("client: no frame within %v: %w", c.opts.IOTimeout, ErrConnectionLost)
+			return zero, c.poison(err)
+		}
+	}
 }
 
 // Result is a fully materialized query result, for callers that do not

@@ -1,0 +1,453 @@
+// End-to-end cluster tests: a coordinator over real worker servers,
+// checked byte-for-byte against a single-node sequential oracle. In
+// package cluster_test because the fixtures need internal/server, which
+// itself imports internal/cluster for the worker-side partitioner.
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/netfault"
+	"repro/internal/qctx"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+const clusterSeed = 20260808
+
+// clusterScript builds the paper's supplier schema with the data shapes
+// PR 7 fought for: suppliers with no SP rows (COUNT=0 groups), NULL
+// correlation keys on both sides, and enough spread that three shards
+// all hold rows.
+const clusterScript = `
+CREATE TABLE S (SNO INTEGER, SNAME TEXT, CITY TEXT, PRIMARY KEY (SNO));
+CREATE TABLE SP (SNO INTEGER, PNO INTEGER, QTY INTEGER);
+INSERT INTO S VALUES
+  (1, 'SMITH', 'PARIS'), (2, 'JONES', 'PARIS'), (3, 'BLAKE', 'ROME'),
+  (4, 'CLARK', 'LONDON'), (5, 'ADAMS', 'ATHENS'), (6, 'IDLE', 'OSLO'),
+  (7, 'NOONE', 'CAIRO'), (NULL, 'GHOST', 'LIMBO');
+INSERT INTO SP VALUES
+  (1, 10, 100), (1, 20, 200), (2, 10, 300), (2, 30, 400), (3, 30, 50),
+  (3, 10, 60), (4, 40, 70), (5, 10, 5), (5, 20, 15), (5, 30, 25),
+  (NULL, 10, 999), (NULL, 20, 888);
+`
+
+// clusterQueries are distributable shapes covering both rounds: the
+// co-located fast path (correlation on the placement key SNO) and, for
+// tables placed differently, the shuffle. Query 2 is the paper's
+// COUNT bug territory: COUNT=0 suppliers must surface.
+var clusterQueries = []string{
+	"SELECT S.SNAME, S.CITY FROM S WHERE S.CITY = 'PARIS'",
+	"SELECT S.SNO, S.SNAME FROM S WHERE 0 = (SELECT COUNT(SP.PNO) FROM SP WHERE SP.SNO = S.SNO)",
+	"SELECT S.SNAME FROM S WHERE S.SNO IN (SELECT SP.SNO FROM SP WHERE SP.QTY > 90)",
+	"SELECT S.SNAME FROM S WHERE 300 <= (SELECT SUM(SP.QTY) FROM SP WHERE SP.SNO = S.SNO)",
+	"SELECT S.SNAME FROM S WHERE NOT EXISTS (SELECT SP.PNO FROM SP WHERE SP.SNO = S.SNO)",
+	"SELECT S.SNAME FROM S WHERE S.SNO > ALL (SELECT SP.PNO FROM SP WHERE SP.SNO = S.SNO)",
+}
+
+// canonSorted is the byte-comparison key between a distributed gather
+// and the single-node oracle: the gather concatenates shard-major, so
+// both sides are put in a canonical total order first, then encoded as
+// one RowBatch frame. No *testing.T — it runs inside storm goroutines.
+func canonSorted(cols []string, rows []storage.Tuple) []byte {
+	sorted := append([]storage.Tuple(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			c, err := value.TotalCompare(a[k], b[k])
+			if err != nil {
+				// Incomparable kinds: order by wire encoding, still total.
+				c = bytes.Compare(wire.AppendValue(nil, a[k]), wire.AppendValue(nil, b[k]))
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return wire.EncodeRowBatch(wire.RowBatch{Columns: cols, Rows: sorted})
+}
+
+// startWorkers boots n empty worker engines behind real TCP servers.
+func startWorkers(t *testing.T, n int, admit bool) (addrs []string, dbs []*engine.DB) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		db := engine.New(6)
+		if admit {
+			db.EnableAdmission(admission.Config{
+				MaxConcurrent: 4, QueueDepth: 16, PoolBytes: 8 << 20, Seed: clusterSeed + int64(i),
+			})
+		}
+		srv := server.New(db, server.Config{
+			Strategy:          engine.TransformJA2,
+			BatchRows:         5,
+			WriteTimeout:      2 * time.Second,
+			HeartbeatInterval: 200 * time.Millisecond,
+		})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(lis) }()
+		t.Cleanup(func() {
+			srv.Shutdown(5 * time.Second)
+			if err := <-serveErr; err != nil {
+				t.Errorf("worker Serve: %v", err)
+			}
+		})
+		addrs = append(addrs, lis.Addr().String())
+		dbs = append(dbs, db)
+	}
+	return addrs, dbs
+}
+
+// oracleDB builds the single-node reference database.
+func oracleDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New(6)
+	if _, err := db.Exec(clusterScript, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var clusterStrategies = []engine.Strategy{
+	engine.NestedIteration, engine.TransformJA2, engine.TransformKim,
+}
+
+// TestDistributedNestJA2 is the acceptance gate: every query, under
+// every strategy, on 3 workers, produces exactly the single-node
+// sequential oracle's bag of rows — including the NULL-key supplier and
+// the COUNT=0 groups — for both placements: co-located (SP placed on
+// the correlation key SNO, pure 2-local-rounds) and misplaced (SP
+// placed on PNO, forcing the shuffle round).
+func TestDistributedNestJA2(t *testing.T) {
+	oracle := oracleDB(t)
+	for _, placement := range []struct {
+		name  string
+		place map[string]string
+	}{
+		{"co-located", map[string]string{"SP": "SNO"}},
+		{"shuffled", map[string]string{"SP": "PNO"}},
+	} {
+		t.Run(placement.name, func(t *testing.T) {
+			addrs, _ := startWorkers(t, 3, false)
+			co, err := cluster.New(cluster.Config{
+				Workers:   addrs,
+				Placement: placement.place,
+				IOTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer co.Close()
+			if _, err := co.ExecSQL(clusterScript, engine.Options{}); err != nil {
+				t.Fatalf("cluster load: %v", err)
+			}
+			for _, sql := range clusterQueries {
+				for _, strat := range clusterStrategies {
+					want, err := oracle.Query(sql, engine.Options{Strategy: strat})
+					if err != nil {
+						t.Fatalf("oracle %v %q: %v", strat, sql, err)
+					}
+					got, err := co.ExecSQL(sql, engine.Options{Strategy: strat})
+					if err != nil {
+						t.Fatalf("cluster %v %q: %v", strat, sql, err)
+					}
+					wb := canonSorted(want.Columns, want.Rows)
+					gb := canonSorted(got.Columns, got.Rows)
+					if !bytes.Equal(wb, gb) {
+						t.Errorf("%v %q: distributed result diverges from oracle\n  oracle: %d rows %v\n  cluster: %d rows %v",
+							strat, sql, len(want.Rows), want.Rows, len(got.Rows), got.Rows)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterDML checks that DML fans out and reads back coherently,
+// and that a dropped table disappears from every worker.
+func TestClusterDML(t *testing.T) {
+	addrs, _ := startWorkers(t, 3, false)
+	co, err := cluster.New(cluster.Config{Workers: addrs, IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if _, err := co.ExecSQL(clusterScript, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.ExecSQL("DELETE FROM SP WHERE QTY > 500", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("DELETE affected %d rows, want 2 (the NULL-key 999/888 pair)", res.Affected)
+	}
+	res, err = co.ExecSQL("UPDATE S SET CITY = 'LYON' WHERE CITY = 'PARIS'", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("UPDATE affected %d rows, want 2", res.Affected)
+	}
+	got, err := co.ExecSQL("SELECT S.SNAME FROM S WHERE S.CITY = 'LYON'", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 {
+		t.Fatalf("post-UPDATE read: %d rows, want 2", len(got.Rows))
+	}
+	// Subquery DML must refuse rather than run per-shard-wrong.
+	if _, err := co.ExecSQL("DELETE FROM S WHERE SNO IN (SELECT SNO FROM SP)", engine.Options{}); !errors.Is(err, cluster.ErrNotDistributable) {
+		t.Fatalf("subquery DELETE: got %v, want ErrNotDistributable", err)
+	}
+	if _, err := co.ExecSQL("DROP TABLE SP", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.ExecSQL("SELECT SP.SNO FROM SP", engine.Options{}); err == nil {
+		t.Fatal("query against dropped table succeeded")
+	}
+}
+
+// TestClusterRejectsNonDistributable: the coordinator answers with a
+// typed refusal instead of a wrong answer.
+func TestClusterRejectsNonDistributable(t *testing.T) {
+	addrs, _ := startWorkers(t, 2, false)
+	co, err := cluster.New(cluster.Config{Workers: addrs, IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if _, err := co.ExecSQL(clusterScript, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"SELECT COUNT(SP.PNO) FROM SP",
+		"SELECT S.SNAME FROM S ORDER BY S.SNAME",
+		"SELECT S.SNAME FROM S WHERE S.SNO NOT IN (SELECT SP.SNO FROM SP)",
+	} {
+		if _, err := co.ExecSQL(sql, engine.Options{}); !errors.Is(err, cluster.ErrNotDistributable) {
+			t.Errorf("%q: got %v, want ErrNotDistributable", sql, err)
+		}
+	}
+}
+
+// typedClusterError is the closed list of acceptable failure shapes for
+// the storm: remote (typed by the worker/front server), transport loss,
+// timeout/cancel/overload taxonomy, or the coordinator's own refusal.
+func typedClusterError(err error) bool {
+	var re *wire.RemoteError
+	var ne net.Error
+	return errors.As(err, &re) ||
+		errors.Is(err, client.ErrConnectionLost) ||
+		errors.Is(err, cluster.ErrNotDistributable) ||
+		errors.Is(err, wire.ErrCorruptFrame) ||
+		errors.Is(err, wire.ErrSlowConsumer) ||
+		errors.Is(err, qctx.ErrCanceled) ||
+		errors.Is(err, qctx.ErrOverloaded) ||
+		errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// TestClusterChaosStorm is the make-cluster gate: a coordinator fronted
+// by its own wire server, three workers each behind a seeded
+// fault-injecting proxy, outer clients hammering distributable queries.
+// Every completed result must be byte-identical (canonically sorted) to
+// the single-node oracle; every failure must be typed; afterwards no
+// goroutine leaks and every worker admission slot and pool lease is
+// back.
+func TestClusterChaosStorm(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	oracle := oracleDB(t)
+	oracleBytes := make(map[string][]byte)
+	for _, sql := range clusterQueries {
+		res, err := oracle.Query(sql, engine.Options{Strategy: engine.TransformJA2})
+		if err != nil {
+			t.Fatalf("oracle %q: %v", sql, err)
+		}
+		oracleBytes[sql] = canonSorted(res.Columns, res.Rows)
+	}
+
+	addrs, workerDBs := startWorkers(t, 3, true)
+
+	// Each worker link runs through its own fault proxy; the proxies are
+	// armed only after the data is loaded, so the storm exercises the
+	// query path (scatter included) rather than a half-loaded fixture.
+	var proxies []*netfault.Proxy
+	proxyAddrs := make([]string, len(addrs))
+	for i, addr := range addrs {
+		p, err := netfault.New(addr, netfault.Config{Seed: clusterSeed + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies = append(proxies, p)
+		proxyAddrs[i] = p.Addr()
+	}
+
+	co, err := cluster.New(cluster.Config{
+		Workers:   proxyAddrs,
+		Placement: map[string]string{"SP": "PNO"}, // force shuffles under fire
+		IOTimeout: 3 * time.Second,
+		Reconnect: &client.ReconnectConfig{
+			MaxAttempts: 3,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Seed:        clusterSeed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.ExecSQL(clusterScript, engine.Options{}); err != nil {
+		t.Fatalf("cluster load: %v", err)
+	}
+
+	// Front the coordinator with its own server: outer clients speak the
+	// same wire protocol to the cluster as they would to one node.
+	front := server.NewBackend(co, server.Config{
+		Strategy:     engine.TransformJA2,
+		BatchRows:    5,
+		WriteTimeout: 2 * time.Second,
+	})
+	if front.DB() != nil {
+		t.Fatal("coordinator-backed server must not report a local engine")
+	}
+	frontLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontErr := make(chan error, 1)
+	go func() { frontErr <- front.Serve(frontLis) }()
+
+	// Arm the proxies now that the fixture is loaded.
+	for _, p := range proxies {
+		p.Arm(netfault.Config{
+			Seed:        clusterSeed,
+			Delay:       0.05,
+			DelayDur:    2 * time.Millisecond,
+			SplitWrites: 0.25,
+			Corrupt:     0.01,
+			Truncate:    0.01,
+			Drop:        0.01,
+			Partition:   0.003,
+			MaxFaults:   24,
+		})
+	}
+
+	const (
+		clients = 4
+		rounds  = 6
+	)
+	var completed, failed, mismatches atomic.Int64
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				sql := clusterQueries[(ci+r)%len(clusterQueries)]
+				c, err := client.Dial(frontLis.Addr().String(), 2*time.Second)
+				if err != nil {
+					failed.Add(1)
+					if !typedClusterError(err) {
+						t.Errorf("client %d round %d: untyped dial error: %v", ci, r, err)
+					}
+					continue
+				}
+				res, err := c.Collect(sql, client.Options{Strategy: wire.StrategyTransform})
+				if err != nil {
+					failed.Add(1)
+					if !typedClusterError(err) {
+						t.Errorf("client %d round %d: untyped error: %T %v", ci, r, err, err)
+					}
+				} else {
+					completed.Add(1)
+					if got := canonSorted(res.Columns, res.Rows); !bytes.Equal(got, oracleBytes[sql]) {
+						mismatches.Add(1)
+						t.Errorf("client %d round %d %q: completed distributed result differs from single-node oracle", ci, r, sql)
+					}
+				}
+				c.Close()
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	var injected int64
+	for _, p := range proxies {
+		injected += p.Injected()
+		if err := p.Close(); err != nil {
+			t.Errorf("proxy close: %v", err)
+		}
+	}
+	t.Logf("cluster storm: %d completed, %d failed typed, %d injected worker-link faults",
+		completed.Load(), failed.Load(), injected)
+	if completed.Load() == 0 {
+		t.Error("no query completed; the storm proved nothing about distributed integrity")
+	}
+	if injected == 0 {
+		t.Error("no fault injected on the worker links; the storm proved nothing about partition tolerance")
+	}
+	if mismatches.Load() > 0 {
+		t.Errorf("%d completed distributed results diverged from the oracle", mismatches.Load())
+	}
+
+	// Worker quiescence: every admission slot and pool lease released.
+	for i, db := range workerDBs {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			st := db.Admission().Stats()
+			if st.Running == 0 && st.Waiting == 0 && st.PoolUsed == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d admission never quiesced: %+v", i, st)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	if err := front.Shutdown(5 * time.Second); err != nil {
+		t.Errorf("front Shutdown: %v", err)
+	}
+	if err := <-frontErr; err != nil {
+		t.Errorf("front Serve: %v", err)
+	}
+	co.Close()
+
+	// Goroutine hygiene: workers shut down via t.Cleanup afterwards, so
+	// allow their server goroutines; poll only back to baseline plus the
+	// still-running worker servers' accept/session loops.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+3*4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after cluster storm: baseline=%d now=%d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,638 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/qctx"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers are the addresses of the worker nestedsqld instances. The
+	// slice order defines shard numbering: shard i lives on Workers[i].
+	Workers []string
+	// Placement overrides the partition column per table (UPPER names).
+	// A table not listed defaults to its first primary-key column, or
+	// its first column when no key is declared.
+	Placement map[string]string
+	// DialTimeout bounds each worker dial + handshake (0 = client default).
+	DialTimeout time.Duration
+	// IOTimeout bounds each per-frame wait on worker connections.
+	IOTimeout time.Duration
+	// Reconnect configures transparent redialing of lost worker links;
+	// nil disables it (a lost worker fails the statement).
+	Reconnect *client.ReconnectConfig
+	// InsertBatch bounds rows per INSERT statement when routing loads
+	// and flushing shuffles (0 = 256).
+	InsertBatch int
+}
+
+func (c Config) insertBatch() int {
+	if c.InsertBatch <= 0 {
+		return 256
+	}
+	return c.InsertBatch
+}
+
+// Coordinator is the cluster's client-facing backend: it owns the
+// catalog mirror and the placement map, fans DDL and DML out to the
+// workers, and runs distributable SELECTs as scatter/gather plans. It
+// implements server.Backend, so cmd/nestedsqld can serve it behind the
+// same wire protocol a single-node engine uses.
+//
+// Statements are serialized under one mutex: worker connections are
+// plain client.Conns (one in-flight stream each), and a shuffle must
+// not interleave with DDL that could drop its staging tables. The
+// concurrency story is per-worker inside each statement, not across
+// statements — matching the repo's admission model where the expensive
+// work (the per-shard round 2) runs engine-side anyway.
+type Coordinator struct {
+	cfg Config
+
+	mu    sync.Mutex
+	conns []*client.Conn
+	cat   *schema.Catalog
+	place map[string]string // UPPER(table) -> UPPER(partition column)
+	qid   uint64            // staging-name counter
+	stats struct {
+		perWorker []int64 // round-2 gathers issued per worker
+	}
+}
+
+// New dials every worker and verifies each granted the cluster feature
+// (only servers fronting a local engine do — a coordinator cannot be a
+// worker for another coordinator).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	co := &Coordinator{
+		cfg:   cfg,
+		cat:   schema.NewCatalog(),
+		place: make(map[string]string),
+	}
+	co.stats.perWorker = make([]int64, len(cfg.Workers))
+	for _, addr := range cfg.Workers {
+		conn, err := client.DialOpts(addr, client.DialOptions{
+			Timeout:   cfg.DialTimeout,
+			IOTimeout: cfg.IOTimeout,
+			Reconnect: cfg.Reconnect,
+		})
+		if err == nil && !conn.Cluster() {
+			conn.Close()
+			err = fmt.Errorf("cluster: worker %s did not grant the cluster feature", addr)
+		}
+		if err != nil {
+			co.Close()
+			return nil, err
+		}
+		co.conns = append(co.conns, conn)
+	}
+	return co, nil
+}
+
+// Close drops every worker connection.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, c := range co.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Drain satisfies server.Backend. The coordinator holds no queries of
+// its own — in-flight statements finish under the mutex, and the
+// workers drain their engines during their own shutdowns.
+func (co *Coordinator) Drain(time.Duration) error { return nil }
+
+// NumWorkers returns the shard count.
+func (co *Coordinator) NumWorkers() int { return len(co.cfg.Workers) }
+
+// GatherCounts returns how many round-2 subqueries each worker has
+// served, for load reporting (benchpaper's per-node q/s).
+func (co *Coordinator) GatherCounts() []int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]int64(nil), co.stats.perWorker...)
+}
+
+// ExecSQL runs a script of statements against the cluster, mirroring
+// engine.Exec's contract: the result is the last SELECT's, Affected
+// accumulates DML counts, and a failing statement aborts the script
+// with prior statements applied.
+func (co *Coordinator) ExecSQL(sql string, opts engine.Options) (*engine.Result, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *engine.Result
+	var affected int64
+	for _, stmt := range stmts {
+		switch stmt := stmt.(type) {
+		case *sqlparser.CreateTableStmt:
+			if err := co.execCreate(stmt.Relation); err != nil {
+				return nil, err
+			}
+		case *sqlparser.InsertStmt:
+			n, err := co.execInsert(stmt)
+			if err != nil {
+				return nil, err
+			}
+			affected += n
+		case *sqlparser.DeleteStmt:
+			n, err := co.execFilterDML(stmt.Table, stmt.Where, stmt)
+			if err != nil {
+				return nil, err
+			}
+			affected += n
+		case *sqlparser.UpdateStmt:
+			n, err := co.execFilterDML(stmt.Table, stmt.Where, stmt)
+			if err != nil {
+				return nil, err
+			}
+			affected += n
+		case *sqlparser.DropTableStmt:
+			if err := co.execDrop(stmt.Table); err != nil {
+				return nil, err
+			}
+		case *sqlparser.SelectStmt:
+			res, err := co.query(stmt.Query, opts)
+			if err != nil {
+				return nil, err
+			}
+			last = res
+		default:
+			return nil, fmt.Errorf("cluster: unsupported statement %T", stmt)
+		}
+	}
+	if last == nil {
+		last = &engine.Result{Strategy: opts.Strategy}
+	}
+	last.Affected = affected
+	return last, nil
+}
+
+// execCreate defines the relation in the catalog mirror, picks its
+// placement column, and broadcasts the CREATE to every worker.
+func (co *Coordinator) execCreate(rel *schema.Relation) error {
+	if err := co.cat.Define(rel); err != nil {
+		return err
+	}
+	up := strings.ToUpper(rel.Name)
+	place := ""
+	if p, ok := co.cfg.Placement[up]; ok {
+		if rel.ColumnIndex(p) < 0 {
+			co.cat.Drop(rel.Name)
+			return fmt.Errorf("cluster: placement column %s does not exist in %s", p, rel.Name)
+		}
+		place = strings.ToUpper(p)
+	} else if len(rel.Key) > 0 {
+		place = strings.ToUpper(rel.Key[0])
+	} else {
+		place = strings.ToUpper(rel.Columns[0].Name)
+	}
+	if err := co.broadcast(renderCreate(rel)); err != nil {
+		co.cat.Drop(rel.Name)
+		co.broadcastBestEffort("DROP TABLE " + rel.Name)
+		return err
+	}
+	co.place[up] = place
+	return nil
+}
+
+// execInsert coerces each row's literals against the schema — hashing
+// must see the value a worker will store, not the raw literal, or a
+// DATE partition key would land rows on the wrong shard — then routes
+// every row to its placement shard as per-worker INSERT statements.
+func (co *Coordinator) execInsert(stmt *sqlparser.InsertStmt) (int64, error) {
+	rel, ok := co.cat.Lookup(stmt.Table)
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown relation %s", stmt.Table)
+	}
+	pidx := rel.ColumnIndex(co.place[strings.ToUpper(rel.Name)])
+	if pidx < 0 {
+		return 0, fmt.Errorf("cluster: relation %s has no placement column", rel.Name)
+	}
+	part := Partitioner{NumShards: len(co.conns), KeyCols: []int{pidx}}
+	routed := make([][][]value.Value, len(co.conns))
+	for _, row := range stmt.Rows {
+		if len(row) != len(rel.Columns) {
+			return 0, fmt.Errorf("cluster: INSERT row has %d values, %s has %d columns",
+				len(row), rel.Name, len(rel.Columns))
+		}
+		t := make(storage.Tuple, len(row))
+		for i, v := range row {
+			cv, err := engine.CoerceInsertValue(v, rel.Columns[i].Type)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: column %s of %s: %w", rel.Columns[i].Name, rel.Name, err)
+			}
+			t[i] = cv
+		}
+		d := part.Shard(t)
+		routed[d] = append(routed[d], t)
+	}
+	var affected int64
+	for d, rows := range routed {
+		n, err := co.insertRows(d, rel.Name, rows)
+		if err != nil {
+			return affected, err
+		}
+		affected += n
+	}
+	return affected, nil
+}
+
+// insertRows flushes rows to one worker in InsertBatch-sized chunks.
+func (co *Coordinator) insertRows(worker int, table string, rows [][]value.Value) (int64, error) {
+	var n int64
+	batch := co.cfg.insertBatch()
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > batch {
+			chunk = chunk[:batch]
+		}
+		rows = rows[len(chunk):]
+		stmt := &sqlparser.InsertStmt{Table: table, Rows: chunk}
+		res, err := co.conns[worker].Collect(stmt.String(), client.Options{Timeout: co.cfg.IOTimeout})
+		if err != nil {
+			return n, fmt.Errorf("cluster: worker %d: %w", worker, err)
+		}
+		n += res.Done.Rows
+	}
+	return n, nil
+}
+
+// execFilterDML broadcasts a DELETE or UPDATE whose WHERE clause is
+// row-local. Subqueries are rejected: their evaluation would see only
+// each worker's slice, deleting (or keeping) the wrong rows.
+func (co *Coordinator) execFilterDML(table string, where []ast.Predicate, stmt sqlparser.Statement) (int64, error) {
+	if _, ok := co.cat.Lookup(table); !ok {
+		return 0, fmt.Errorf("cluster: unknown relation %s", table)
+	}
+	for _, p := range where {
+		if len(ast.SubqueriesOf(p)) > 0 {
+			return 0, notDistributable("DELETE/UPDATE with a subquery would evaluate it per-shard")
+		}
+	}
+	type renderer interface{ String() string }
+	sql := stmt.(renderer).String()
+	var affected int64
+	for i, conn := range co.conns {
+		res, err := conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout})
+		if err != nil {
+			return affected, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		affected += res.Done.Rows
+	}
+	return affected, nil
+}
+
+func (co *Coordinator) execDrop(table string) error {
+	if _, ok := co.cat.Lookup(table); !ok {
+		return fmt.Errorf("cluster: unknown relation %s", table)
+	}
+	if err := co.broadcast("DROP TABLE " + table); err != nil {
+		return err
+	}
+	co.cat.Drop(table)
+	delete(co.place, strings.ToUpper(table))
+	return nil
+}
+
+// broadcast runs one statement on every worker, failing on the first
+// error.
+func (co *Coordinator) broadcast(sql string) error {
+	for i, conn := range co.conns {
+		if _, err := conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout}); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// broadcastBestEffort runs one statement on every worker, ignoring
+// failures — cleanup of staging tables must not mask the real error.
+func (co *Coordinator) broadcastBestEffort(sql string) {
+	for _, conn := range co.conns {
+		conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout})
+	}
+}
+
+// query runs one SELECT as a distributed plan:
+//
+//	round 1 (only when some table's placement differs from the key the
+//	         query requires): shuffle — every worker scatters its slice
+//	         of that table partitioned by the required key, and the
+//	         coordinator lands the rows in per-worker staging tables;
+//	round 2: the query — rewritten over the staging tables — runs
+//	         whole on every worker, and the results are concatenated.
+//
+// Analyze proves the concatenation equals the single-node result; a
+// query it rejects fails with ErrNotDistributable rather than running
+// wrong.
+func (co *Coordinator) query(qb *ast.QueryBlock, opts engine.Options) (*engine.Result, error) {
+	outs, err := schema.Resolve(co.cat, qb)
+	if err != nil {
+		return nil, err
+	}
+	req, err := Analyze(qb)
+	if err != nil {
+		return nil, err
+	}
+
+	staged := make(map[string]string) // UPPER(table) -> staging name
+	defer func() {
+		for _, sname := range staged {
+			co.broadcastBestEffort("DROP TABLE " + sname)
+		}
+	}()
+	for table, col := range req {
+		if col == "" || col == co.place[table] {
+			continue // co-located (or placement-independent) already
+		}
+		sname, err := co.shuffle(table, col, opts)
+		if err != nil {
+			return nil, err
+		}
+		staged[table] = sname
+	}
+	if len(staged) > 0 {
+		ast.VisitBlocks(qb, func(b *ast.QueryBlock, _ int) bool {
+			for i := range b.From {
+				if sname, ok := staged[strings.ToUpper(b.From[i].Relation)]; ok {
+					// Keep the binding name stable so every column
+					// reference still resolves on the workers.
+					b.From[i].Alias = b.From[i].Binding()
+					b.From[i].Relation = sname
+				}
+			}
+			return true
+		})
+	}
+
+	cols := make([]string, len(outs))
+	for i, o := range outs {
+		cols[i] = o.Name
+	}
+	return co.gather(qb.String(), cols, opts)
+}
+
+// shuffle re-partitions one table by the required key into a fresh
+// staging table on every worker (round 1). Each worker partitions its
+// own slice — rows cross the network once, worker → coordinator →
+// destination worker; there are no worker↔worker links to manage.
+func (co *Coordinator) shuffle(table, keyCol string, opts engine.Options) (string, error) {
+	rel, ok := co.cat.Lookup(table)
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown relation %s", table)
+	}
+	kidx := rel.ColumnIndex(keyCol)
+	if kidx < 0 {
+		return "", fmt.Errorf("cluster: relation %s has no column %s", rel.Name, keyCol)
+	}
+	co.qid++
+	sname := fmt.Sprintf("%s__X%d", rel.Name, co.qid)
+	// Key columns survive re-partitioning (a per-shard subset of a
+	// globally unique key is still unique), and keeping them preserves
+	// the planner's duplicate-safety reasoning on the workers.
+	srel := &schema.Relation{Name: sname, Columns: rel.Columns, Key: rel.Key}
+	if err := co.broadcast(renderCreate(srel)); err != nil {
+		return "", err
+	}
+	// Drop eagerly on scatter failure; success hands ownership to the
+	// caller's deferred cleanup via the staged map.
+	colNames := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
+		colNames[i] = c.Name
+	}
+	scan := "SELECT " + strings.Join(colNames, ", ") + " FROM " + rel.Name
+	sq := wire.ShardQuery{
+		TimeoutMicros: opts.Timeout.Microseconds(),
+		Strategy:      wire.StrategyNested, // a flat scan; no transform to pick
+		NumShards:     int64(len(co.conns)),
+		KeyCols:       []int64{int64(kidx)},
+		SQL:           scan,
+	}
+	// All workers scatter concurrently (each on its own connection),
+	// each into a private routing table; the tables merge source-major
+	// afterwards so the staged row order stays deterministic.
+	sourced := make([][][][]value.Value, len(co.conns))
+	scatterErr := make([]error, len(co.conns))
+	var wg sync.WaitGroup
+	for i, conn := range co.conns {
+		wg.Add(1)
+		go func(i int, conn *client.Conn) {
+			defer wg.Done()
+			local := make([][][]value.Value, len(co.conns))
+			_, err := conn.Scatter(sq, func(b wire.ShardBatch) error {
+				if int(b.Shard) >= len(local) {
+					return fmt.Errorf("cluster: worker %d sent shard %d of %d", i, b.Shard, len(local))
+				}
+				for _, row := range b.Batch.Rows {
+					local[b.Shard] = append(local[b.Shard], []value.Value(row))
+				}
+				return nil
+			})
+			sourced[i], scatterErr[i] = local, err
+		}(i, conn)
+	}
+	wg.Wait()
+	for i, err := range scatterErr {
+		if err != nil {
+			co.broadcastBestEffort("DROP TABLE " + sname)
+			return "", fmt.Errorf("cluster: scatter of %s from worker %d: %w", rel.Name, i, err)
+		}
+	}
+	routed := make([][][]value.Value, len(co.conns))
+	for _, local := range sourced {
+		for d, rows := range local {
+			routed[d] = append(routed[d], rows...)
+		}
+	}
+	// Landing fans out too: destination d owns connection d exclusively.
+	landErr := make([]error, len(routed))
+	for d, rows := range routed {
+		wg.Add(1)
+		go func(d int, rows [][]value.Value) {
+			defer wg.Done()
+			_, landErr[d] = co.insertRows(d, sname, rows)
+		}(d, rows)
+	}
+	wg.Wait()
+	for _, err := range landErr {
+		if err != nil {
+			co.broadcastBestEffort("DROP TABLE " + sname)
+			return "", fmt.Errorf("cluster: landing shuffle of %s: %w", rel.Name, err)
+		}
+	}
+	return sname, nil
+}
+
+// gather runs the round-2 SQL on every worker concurrently — each
+// worker owns its own connection, so the streams are independent — and
+// concatenates in shard order, so the gathered row order is as
+// deterministic as the sequential version's. Results stream through
+// opts.Sink when the caller set one (the network server does) and
+// materialize otherwise; either way each shard's result is buffered
+// until its turn, bounding peak memory at one result set — the same
+// bound materialization already implies. Columns come from the
+// coordinator's own resolution, so empty results still carry the full
+// schema, exactly as a single-node engine reports it.
+func (co *Coordinator) gather(sql string, cols []string, opts engine.Options) (*engine.Result, error) {
+	sink := opts.Sink
+	batchRows := 64
+	if sink != nil {
+		if sink.BatchRows > 0 {
+			batchRows = sink.BatchRows
+		}
+		if err := sink.Columns(cols); err != nil {
+			return nil, err
+		}
+	}
+	res := &engine.Result{Columns: cols, Strategy: opts.Strategy}
+	copts := client.Options{
+		Timeout:  opts.Timeout,
+		Strategy: wireStrategy(opts.Strategy),
+	}
+
+	type shard struct {
+		rows  []storage.Tuple
+		stats wire.Done
+		err   error
+	}
+	shards := make([]shard, len(co.conns))
+	var wg sync.WaitGroup
+	for i, conn := range co.conns {
+		wg.Add(1)
+		go func(i int, conn *client.Conn) {
+			defer wg.Done()
+			s := &shards[i]
+			st, err := conn.Query(sql, copts)
+			if err != nil {
+				s.err = err
+				return
+			}
+			for st.Next() {
+				s.rows = append(s.rows, append(storage.Tuple(nil), st.Row()...))
+				if opts.MaxRows > 0 && int64(len(s.rows)) > opts.MaxRows {
+					// One shard already exceeds the global budget: stop
+					// pulling before a runaway result fills the heap.
+					st.Close()
+					s.err = qctx.ErrRowBudget
+					return
+				}
+			}
+			if err := st.Close(); err != nil {
+				s.err = err
+				return
+			}
+			s.stats = st.Stats()
+		}(i, conn)
+	}
+	wg.Wait()
+
+	var pending []storage.Tuple
+	var total int64
+	for i := range shards {
+		s := &shards[i]
+		if s.err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, s.err)
+		}
+		co.stats.perWorker[i]++
+		for _, row := range s.rows {
+			total++
+			if opts.MaxRows > 0 && total > opts.MaxRows {
+				return nil, qctx.ErrRowBudget
+			}
+			if sink != nil {
+				pending = append(pending, row)
+				if len(pending) >= batchRows {
+					if err := sink.Batch(pending); err != nil {
+						return nil, err
+					}
+					pending = nil
+				}
+			} else {
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		res.Stats.Reads += s.stats.Reads
+		res.Stats.Writes += s.stats.Writes
+		res.FellBack = res.FellBack || s.stats.FellBack
+	}
+	if sink != nil && len(pending) > 0 {
+		if err := sink.Batch(pending); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// wireStrategy maps the engine strategy the session resolved into the
+// explicit wire byte for the workers — the coordinator never lets a
+// worker's own default win, or mixed worker configs would give
+// strategy-mixed (and thus trace-divergent) gathers.
+func wireStrategy(s engine.Strategy) byte {
+	switch s {
+	case engine.TransformJA2:
+		return wire.StrategyTransform
+	case engine.TransformKim:
+		return wire.StrategyKim
+	case engine.NestedIteration:
+		return wire.StrategyNested
+	default:
+		return wire.StrategyDefault
+	}
+}
+
+// renderCreate turns a schema.Relation back into CREATE TABLE SQL for
+// broadcast to the workers.
+func renderCreate(rel *schema.Relation) string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(rel.Name)
+	b.WriteString(" (")
+	for i, c := range rel.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString(" ")
+		b.WriteString(typeName(c.Type))
+	}
+	if len(rel.Key) > 0 {
+		b.WriteString(", PRIMARY KEY (")
+		b.WriteString(strings.Join(rel.Key, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func typeName(k value.Kind) string {
+	switch k {
+	case value.KindInt:
+		return "INTEGER"
+	case value.KindFloat:
+		return "FLOAT"
+	case value.KindDate:
+		return "DATE"
+	default:
+		return "TEXT"
+	}
+}

@@ -86,6 +86,32 @@ func TestDurabilityReplayRoundtrip(t *testing.T) {
 	}
 }
 
+func TestDurabilityDropTableReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	script := durabilityScript + `
+		DROP TABLE DEPT;
+		CREATE TABLE DEPT (DNO INT, HEAD VARCHAR);
+		INSERT INTO DEPT VALUES (10, 'ann');
+	`
+	if _, err := db.Exec(script, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := saveImage(t, db)
+	// WAL-only recovery must replay the drop and the re-create in order,
+	// converging on the second DEPT, not the first.
+	re, info := openDurable(t, dir)
+	if info.SnapshotLoaded || info.ReplayedRecords == 0 {
+		t.Fatalf("want WAL-only recovery, got %+v", info)
+	}
+	if got := saveImage(t, re); !bytes.Equal(got, want) {
+		t.Fatal("recovered image differs after drop + recreate")
+	}
+	if _, err := re.Exec("DROP TABLE NOSUCH", engine.Options{}); err == nil {
+		t.Fatal("dropping an unknown table succeeded")
+	}
+}
+
 func TestDurabilityCheckpointRoundtrip(t *testing.T) {
 	dir := t.TempDir()
 	db, _ := openDurable(t, dir)

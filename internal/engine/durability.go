@@ -147,6 +147,8 @@ func (db *DB) applyRecord(r wal.Record) error {
 		}
 		_, err = db.execUpdate(upd)
 		return err
+	case wal.RecDrop:
+		return db.DropRelation(r.Table)
 	default:
 		return fmt.Errorf("engine: unknown WAL record type %v", r.Type)
 	}

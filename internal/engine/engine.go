@@ -240,6 +240,44 @@ func (db *DB) createRelationApply(rel *schema.Relation, tuplesPerPage int) error
 	return nil
 }
 
+// DropRelation removes a relation: its schema, heap file, and any
+// secondary indexes. With durability enabled the drop is acknowledged
+// only after the record is logged — replaying a log that creates and
+// later drops a table converges to the same catalog.
+func (db *DB) DropRelation(name string) error {
+	if db.wal == nil {
+		return db.dropRelationApply(name)
+	}
+	commit, err := db.dropRelationDurable(name)
+	if err != nil {
+		return err
+	}
+	return commit.Wait()
+}
+
+func (db *DB) dropRelationDurable(name string) (wal.Commit, error) {
+	db.dmlMu.Lock()
+	defer db.dmlMu.Unlock()
+	if err := db.wal.Err(); err != nil {
+		return wal.Commit{}, err // poisoned: refuse before touching state
+	}
+	if err := db.dropRelationApply(name); err != nil {
+		return wal.Commit{}, err
+	}
+	return db.wal.Append(wal.Record{Type: wal.RecDrop, Table: name})
+}
+
+func (db *DB) dropRelationApply(name string) error {
+	rel, ok := db.cat.Lookup(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %s", name)
+	}
+	db.indexes.DropRelation(rel.Name)
+	db.cat.Drop(rel.Name)
+	db.store.Drop(rel.Name)
+	return nil
+}
+
 // Insert appends rows to a relation. Call Seal (or run a query, which does
 // not require sealing) when bulk loading is done; Insert seals lazily via
 // the storage layer's accounting only when pages fill. With durability

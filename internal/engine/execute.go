@@ -54,6 +54,10 @@ func (db *DB) Exec(script string, opts Options) (*Result, error) {
 				return nil, err
 			}
 			affected += int64(n)
+		case *sqlparser.DropTableStmt:
+			if err := contain(func() error { return db.DropRelation(stmt.Table) }); err != nil {
+				return nil, err
+			}
 		case *sqlparser.SelectStmt:
 			res, err := db.Query(stmt.Query.String(), opts)
 			if err != nil {
@@ -275,6 +279,15 @@ func (db *DB) applyDML(table string, rt wal.RecType, sql string, body func(*stor
 		return wal.Commit{}, n, err
 	}
 	return commit, n, nil
+}
+
+// CoerceInsertValue applies INSERT literal coercion (string→date,
+// int→float) without storing anything. The cluster coordinator needs
+// this before hashing a row for placement: the hash must be taken over
+// the value a worker will store, not the raw literal, or co-location
+// silently breaks for DATE keys.
+func CoerceInsertValue(v value.Value, want value.Kind) (value.Value, error) {
+	return coerceInsertValue(v, want)
 }
 
 func coerceInsertValue(v value.Value, want value.Kind) (value.Value, error) {

@@ -66,7 +66,7 @@ type Config struct {
 // clients at Addr, stop with Close (which also severs any partitioned
 // links still blocking).
 type Proxy struct {
-	cfg    Config
+	cfg    atomic.Pointer[Config]
 	target string
 	lis    net.Listener
 	done   chan struct{}
@@ -87,16 +87,23 @@ func New(target string, cfg Config) (*Proxy, error) {
 		return nil, err
 	}
 	p := &Proxy{
-		cfg:    cfg,
 		target: target,
 		lis:    lis,
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	p.cfg.Store(&cfg)
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
 }
+
+// Arm replaces the fault schedule for all subsequent chunks, including
+// on links already open. A proxy created with a zero-fault Config and
+// armed later lets a test load its fixture cleanly and then storm only
+// the phase under study. Links opened before Arm keep the per-connection
+// RNG streams they started with; only the probabilities change.
+func (p *Proxy) Arm(cfg Config) { p.cfg.Store(&cfg) }
 
 // Addr is the address clients should dial instead of the target.
 func (p *Proxy) Addr() string { return p.lis.Addr().String() }
@@ -152,7 +159,7 @@ func (p *Proxy) untrack(c net.Conn) {
 // allow reserves one hard-fault slot, respecting MaxFaults.
 func (p *Proxy) allow() bool {
 	n := p.faults.Add(1)
-	if p.cfg.MaxFaults > 0 && n > p.cfg.MaxFaults {
+	if max := p.cfg.Load().MaxFaults; max > 0 && n > max {
 		p.faults.Add(-1)
 		return false
 	}
@@ -197,8 +204,9 @@ func (p *Proxy) link(client net.Conn, idx int64) {
 	p.wg.Add(2)
 	// Each direction draws from its own seeded stream, so the schedule
 	// for connection idx replays regardless of goroutine interleaving.
-	go l.pump(client, server, rand.New(rand.NewSource(p.cfg.Seed+idx*2+1)))
-	go l.pump(server, client, rand.New(rand.NewSource(p.cfg.Seed+idx*2+2)))
+	seed := p.cfg.Load().Seed
+	go l.pump(client, server, rand.New(rand.NewSource(seed+idx*2+1)))
+	go l.pump(server, client, rand.New(rand.NewSource(seed+idx*2+2)))
 }
 
 // pipe is one client↔server link: both conns, plus the partition latch
@@ -247,10 +255,10 @@ func (l *pipe) stall() {
 // per chunk.
 func (l *pipe) pump(src, dst net.Conn, rng *rand.Rand) {
 	defer l.p.wg.Done()
-	cfg := &l.p.cfg
 	buf := make([]byte, 4096)
 	for {
 		n, err := src.Read(buf)
+		cfg := l.p.cfg.Load() // reloaded per chunk so Arm takes effect live
 		if n > 0 {
 			if l.partitioned() {
 				l.stall()
@@ -293,7 +301,7 @@ func (l *pipe) pump(src, dst net.Conn, rng *rand.Rand) {
 
 // forward writes one chunk, possibly split into several smaller writes.
 func (l *pipe) forward(dst net.Conn, chunk []byte, rng *rand.Rand) error {
-	cfg := &l.p.cfg
+	cfg := l.p.cfg.Load()
 	if len(chunk) > 1 && cfg.SplitWrites > 0 && rng.Float64() < cfg.SplitWrites {
 		for len(chunk) > 0 {
 			piece := 1 + rng.Intn(len(chunk))

@@ -88,10 +88,22 @@ func (c Config) heartbeatInterval() time.Duration {
 	return c.HeartbeatInterval
 }
 
-// Server owns a listener and its sessions. Create with New, run with
-// Serve (or ListenAndServe), stop with Shutdown.
+// Backend is what a Server fronts: a local engine.DB, or a cluster
+// coordinator that fans each statement out to worker engines. Either
+// way the session layer speaks the same wire protocol; only a backend
+// that IS a local engine additionally grants FeatureCluster and answers
+// ShardQuery frames (a coordinator scatters, it is never scattered to).
+type Backend interface {
+	ExecSQL(sql string, opts engine.Options) (*engine.Result, error)
+	Drain(timeout time.Duration) error
+}
+
+// Server owns a listener and its sessions. Create with New (a local
+// engine) or NewBackend (any Backend), run with Serve (or
+// ListenAndServe), stop with Shutdown.
 type Server struct {
-	db  *engine.DB
+	db  Backend
+	eng *engine.DB // non-nil when the backend is a local engine (worker role)
 	cfg Config
 
 	mu       sync.Mutex
@@ -107,11 +119,20 @@ type Server struct {
 // Shutdown; without it queries run ungated and Shutdown cuts
 // connections without waiting.
 func New(db *engine.DB, cfg Config) *Server {
-	return &Server{db: db, cfg: cfg, sessions: make(map[*session]struct{})}
+	return &Server{db: db, eng: db, cfg: cfg, sessions: make(map[*session]struct{})}
 }
 
-// DB returns the engine this server fronts.
-func (s *Server) DB() *engine.DB { return s.db }
+// NewBackend builds a Server around any Backend (e.g. a cluster
+// coordinator). When the backend happens to be a local engine this is
+// identical to New.
+func NewBackend(b Backend, cfg Config) *Server {
+	eng, _ := b.(*engine.DB)
+	return &Server{db: b, eng: eng, cfg: cfg, sessions: make(map[*session]struct{})}
+}
+
+// DB returns the local engine this server fronts, or nil when the
+// backend is not a local engine (coordinator role).
+func (s *Server) DB() *engine.DB { return s.eng }
 
 // Addr returns the listener address once Serve has been called, for
 // tests and for logging "listening on" lines with a :0 port.

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -36,6 +37,7 @@ type session struct {
 
 	codec     wire.Codec
 	heartbeat bool
+	cluster   bool // FeatureCluster granted: this session may scatter
 
 	frames  chan recvFrame
 	dead    chan struct{} // closed when the read loop exits (disconnect)
@@ -124,6 +126,22 @@ func (s *session) serve() {
 				if !s.runQuery(q) {
 					return
 				}
+			case wire.FrameShardQuery:
+				if !s.cluster {
+					s.sendError(wire.ErrorFrame{
+						Code:    wire.CodeProtocol,
+						Message: "shard query without negotiated cluster feature",
+					})
+					return
+				}
+				q, err := wire.DecodeShardQuery(f.payload)
+				if err != nil {
+					s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
+					return
+				}
+				if !s.runShardQuery(q) {
+					return
+				}
 			default:
 				s.sendError(wire.ErrorFrame{
 					Code:    wire.CodeProtocol,
@@ -188,6 +206,11 @@ func (s *session) handshake() bool {
 		if s.srv.cfg.DisableHeartbeat {
 			mask &^= wire.FeatureHeartbeat
 		}
+		if s.srv.eng != nil {
+			// Only a local engine can execute-and-scatter; a coordinator
+			// backend never grants the cluster feature.
+			mask |= wire.FeatureCluster
+		}
 		granted = h.Flags & mask
 	}
 	s.conn.SetReadDeadline(time.Time{})
@@ -200,6 +223,7 @@ func (s *session) handshake() bool {
 	}
 	s.codec = wire.Codec{Checksums: granted&wire.FeatureChecksum != 0}
 	s.heartbeat = granted&wire.FeatureHeartbeat != 0
+	s.cluster = granted&wire.FeatureCluster != 0
 	return true
 }
 
@@ -296,6 +320,91 @@ func (s *session) runQuery(q wire.Query) bool {
 		done.Rows = res.Affected
 	}
 	if err := s.writeFrame(wire.FrameDone, wire.EncodeDone(done)); err != nil {
+		return false
+	}
+	return s.flush() == nil
+}
+
+// runShardQuery executes one ShardQuery frame: the query runs on the
+// local engine and every result row is partitioned by the hash of its
+// key columns, streamed back as partition-tagged ShardBatch frames, and
+// accounted in the closing ShardDone's per-partition counts (the
+// coordinator cross-checks them against what it gathered). Partitioning
+// happens here, worker-side, so shuffle traffic ships each row exactly
+// once. Like runQuery it reports whether the session should keep
+// serving.
+func (s *session) runShardQuery(q wire.ShardQuery) bool {
+	opts, ferr := s.queryOptions(wire.Query{TimeoutMicros: q.TimeoutMicros, Strategy: q.Strategy})
+	if ferr != nil {
+		return s.sendError(*ferr)
+	}
+
+	n := int(q.NumShards)
+	keys := make([]int, len(q.KeyCols))
+	for i, k := range q.KeyCols {
+		keys[i] = int(k)
+	}
+	part := cluster.Partitioner{NumShards: n, KeyCols: keys}
+
+	var (
+		cols     []string
+		perShard = make([]int64, n)
+		batchErr error
+	)
+	opts.Sink = &engine.RowSink{
+		BatchRows: s.srv.cfg.BatchRows,
+		Columns: func(c []string) error {
+			for _, k := range keys {
+				if k >= len(c) {
+					return fmt.Errorf("server: shard key column %d out of range (%d result columns)", k, len(c))
+				}
+			}
+			cols = append([]string(nil), c...)
+			return nil
+		},
+		Batch: func(rows []storage.Tuple) error {
+			// Group this batch by destination partition and emit one
+			// ShardBatch per non-empty partition. No cross-batch buffering:
+			// executor backpressure reaches the socket per batch.
+			byShard := make(map[int][]storage.Tuple, n)
+			for _, row := range rows {
+				sh := part.Shard(row)
+				byShard[sh] = append(byShard[sh], row)
+			}
+			for sh := 0; sh < n; sh++ {
+				chunk := byShard[sh]
+				if len(chunk) == 0 {
+					continue
+				}
+				b := wire.ShardBatch{Shard: uint32(sh), Batch: wire.RowBatch{Columns: cols, Rows: chunk}}
+				if err := s.writeFrame(wire.FrameShardBatch, wire.EncodeShardBatch(b)); err != nil {
+					batchErr = err
+					return &writeError{err}
+				}
+				if err := s.flush(); err != nil {
+					batchErr = err
+					return &writeError{err}
+				}
+				perShard[sh] += int64(len(chunk))
+			}
+			return nil
+		},
+	}
+
+	res, err := s.srv.eng.ExecSQL(q.SQL, opts)
+	if err != nil {
+		if batchErr != nil {
+			var ne net.Error
+			if errors.As(batchErr, &ne) && ne.Timeout() {
+				s.evictSlowClient()
+			}
+			return false
+		}
+		return s.sendError(wire.ErrorFrameFor(err))
+	}
+
+	done := wire.ShardDone{Reads: res.Stats.Reads, Writes: res.Stats.Writes, PerShard: perShard}
+	if err := s.writeFrame(wire.FrameShardDone, wire.EncodeShardDone(done)); err != nil {
 		return false
 	}
 	return s.flush() == nil

@@ -82,7 +82,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
 	"INSERT": true, "INTO": true, "VALUES": true, "NULL": true,
 	"ORDER": true, "ASC": true, "DESC": true, "HAVING": true,
-	"DELETE": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "UPDATE": true, "SET": true, "DROP": true,
 }
 
 // lexer scans SQL text into tokens.

@@ -41,6 +41,36 @@ func (s *UpdateStmt) String() string {
 	return b.String()
 }
 
+// String renders the statement as parseable SQL.
+func (s *DropTableStmt) String() string {
+	return "DROP TABLE " + s.Table
+}
+
+// String renders the statement as parseable SQL. The cluster coordinator
+// uses it to forward partitioned row batches to their destination worker
+// as plain INSERT statements, so shuffle traffic reuses the engine's
+// ordinary DML path (coercion, WAL logging, admission) unchanged.
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderLiteral(v))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
 func writeWhere(b *strings.Builder, s Statement) {
 	var preds []interface{ String() string }
 	switch s := s.(type) {

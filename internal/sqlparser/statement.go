@@ -51,11 +51,18 @@ type SetClause struct {
 	Val    value.Value
 }
 
+// DropTableStmt is DROP TABLE name. The cluster coordinator leans on it
+// to tear down per-query shuffle staging tables on the workers.
+type DropTableStmt struct {
+	Table string
+}
+
 func (*SelectStmt) isStatement()      {}
 func (*CreateTableStmt) isStatement() {}
 func (*InsertStmt) isStatement()      {}
 func (*DeleteStmt) isStatement()      {}
 func (*UpdateStmt) isStatement()      {}
+func (*DropTableStmt) isStatement()   {}
 
 // ParseStatement parses a single statement of any kind.
 func ParseStatement(src string) (Statement, error) {
@@ -122,9 +129,26 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.atKeyword("UPDATE"):
 		return p.parseUpdate()
+	case p.atKeyword("DROP"):
+		return p.parseDropTable()
 	default:
-		return nil, p.errorf("expected SELECT, CREATE TABLE, INSERT, DELETE, or UPDATE, found %q", p.tok.text)
+		return nil, p.errorf("expected SELECT, CREATE TABLE, INSERT, DELETE, UPDATE, or DROP TABLE, found %q", p.tok.text)
 	}
+}
+
+// parseDropTable parses DROP TABLE name.
+func (p *parser) parseDropTable() (Statement, error) {
+	if err := p.advance(); err != nil { // DROP
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.tok.text)
+	}
+	stmt := &DropTableStmt{Table: p.tok.text}
+	return stmt, p.advance()
 }
 
 // columnTypes maps SQL type names to value kinds.

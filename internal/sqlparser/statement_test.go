@@ -99,10 +99,60 @@ func TestParseScriptMixed(t *testing.T) {
 	}
 }
 
+func TestParseDropTable(t *testing.T) {
+	stmt, err := ParseStatement("DROP TABLE STAGING__X7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, ok := stmt.(*DropTableStmt)
+	if !ok {
+		t.Fatalf("statement = %T", stmt)
+	}
+	if dt.Table != "STAGING__X7" {
+		t.Errorf("table = %q", dt.Table)
+	}
+	// The rendered form must parse back (the WAL and the cluster
+	// coordinator both round-trip statements through text).
+	back, err := ParseStatement(dt.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", dt.String(), err)
+	}
+	if back.(*DropTableStmt).Table != dt.Table {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+func TestRenderInsertRoundTrip(t *testing.T) {
+	src := `INSERT INTO T VALUES (1, NULL, 2.5, 'it''s', '1-1-80'), (-3, 0, 0.25, 'x', NULL)`
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	back, err := ParseStatement(ins.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", ins.String(), err)
+	}
+	ins2 := back.(*InsertStmt)
+	if len(ins2.Rows) != len(ins.Rows) {
+		t.Fatalf("rows = %d, want %d", len(ins2.Rows), len(ins.Rows))
+	}
+	for i, row := range ins.Rows {
+		for j, v := range row {
+			if got := ins2.Rows[i][j]; !got.Equal(v) && !(got.IsNull() && v.IsNull()) {
+				t.Errorf("row %d col %d: %v != %v", i, j, got, v)
+			}
+		}
+	}
+}
+
 func TestParseStatementErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"DROP TABLE T",                             // unsupported verb
+		"ALTER TABLE T",                            // unsupported verb
+		"DROP T",                                   // missing TABLE
+		"DROP TABLE",                               // missing name
+		"DROP TABLE 7",                             // non-ident name
 		"CREATE T (X INT)",                         // missing TABLE
 		"CREATE TABLE (X INT)",                     // missing name
 		"CREATE TABLE T X INT",                     // missing paren

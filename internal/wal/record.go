@@ -21,6 +21,7 @@ const (
 	RecInsert      RecType = 2
 	RecDelete      RecType = 3
 	RecUpdate      RecType = 4
+	RecDrop        RecType = 5
 )
 
 // String names the record type.
@@ -34,6 +35,8 @@ func (t RecType) String() string {
 		return "delete"
 	case RecUpdate:
 		return "update"
+	case RecDrop:
+		return "drop-table"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -61,7 +64,7 @@ type Record struct {
 	Type RecType
 
 	Schema *TableSchema    // RecCreateTable
-	Table  string          // RecInsert
+	Table  string          // RecInsert, RecDrop
 	Rows   []storage.Tuple // RecInsert
 	SQL    string          // RecDelete, RecUpdate
 }
@@ -93,6 +96,8 @@ func appendPayload(dst []byte, r Record) []byte {
 		}
 	case RecDelete, RecUpdate:
 		dst = append(dst, r.SQL...)
+	case RecDrop:
+		dst = appendString(dst, r.Table)
 	}
 	return dst
 }
@@ -185,6 +190,14 @@ func decodePayload(p []byte) (Record, error) {
 		}
 	case RecDelete, RecUpdate:
 		r.SQL = string(p)
+	case RecDrop:
+		var err error
+		if r.Table, p, err = takeString(p); err != nil {
+			return r, fmt.Errorf("table name: %w", err)
+		}
+		if len(p) != 0 {
+			return r, fmt.Errorf("trailing bytes")
+		}
 	default:
 		return r, fmt.Errorf("unknown record type %d", r.Type)
 	}

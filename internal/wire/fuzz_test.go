@@ -46,6 +46,19 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add(cframe(FrameQuery, EncodeQuery(Query{SQL: "SELECT PNUM FROM PARTS"})))
 	f.Add(cframe(FrameError, EncodeError(ErrorFrame{Code: CodeSlowClient, Message: "evicted"})))
+	// Cluster extensions: shard scatter/gather frames, plain and
+	// checksummed, so a malformed shuffle frame can never panic a worker
+	// or coordinator.
+	f.Add(frame(FrameShardQuery, EncodeShardQuery(ShardQuery{
+		TimeoutMicros: 500, Strategy: StrategyTransform, NumShards: 3, KeyCols: []int64{0, 2},
+		SQL: "SELECT PNUM, QOH FROM PARTS",
+	})))
+	f.Add(frame(FrameShardBatch, EncodeShardBatch(ShardBatch{
+		Shard: 2, Batch: RowBatch{Columns: []string{"PNUM"}},
+	})))
+	f.Add(frame(FrameShardDone, EncodeShardDone(ShardDone{Reads: 9, PerShard: []int64{4, 0, 5}})))
+	f.Add(cframe(FrameShardQuery, EncodeShardQuery(ShardQuery{NumShards: 1, SQL: "SELECT SNO FROM S"})))
+	f.Add(cframe(FrameShardDone, EncodeShardDone(ShardDone{PerShard: []int64{1}})))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		// The checksummed reader must be as panic-proof as the plain one,
@@ -100,6 +113,30 @@ func FuzzDecodeFrame(f *testing.F) {
 				// whatever the code byte says.
 				_ = (&RemoteError{Frame: e}).Unwrap()
 			}
+		case FrameShardQuery:
+			if q, err := DecodeShardQuery(payload); err == nil {
+				q2, err := DecodeShardQuery(EncodeShardQuery(q))
+				if err != nil || q2.SQL != q.SQL || q2.NumShards != q.NumShards ||
+					len(q2.KeyCols) != len(q.KeyCols) {
+					t.Fatalf("shard query not stable: %+v vs %+v (%v)", q2, q, err)
+				}
+			}
+		case FrameShardBatch:
+			if b, err := DecodeShardBatch(payload); err == nil {
+				b2, err := DecodeShardBatch(EncodeShardBatch(b))
+				if err != nil || b2.Shard != b.Shard ||
+					len(b2.Batch.Rows) != len(b.Batch.Rows) || len(b2.Batch.Columns) != len(b.Batch.Columns) {
+					t.Fatalf("shard batch not stable: %+v vs %+v (%v)", b2, b, err)
+				}
+			}
+		case FrameShardDone:
+			if d, err := DecodeShardDone(payload); err == nil {
+				d2, err := DecodeShardDone(EncodeShardDone(d))
+				if err != nil || d2.Reads != d.Reads || d2.Writes != d.Writes ||
+					len(d2.PerShard) != len(d.PerShard) {
+					t.Fatalf("shard done not stable: %+v vs %+v (%v)", d2, d, err)
+				}
+			}
 		case FramePing, FramePong:
 			if seq, err := DecodePing(payload); err == nil {
 				// Over-long varint forms are accepted, so bytes need not
@@ -124,6 +161,9 @@ func FuzzFrameCorruption(f *testing.F) {
 	f.Add(FrameRowBatch, EncodeRowBatch(RowBatch{Columns: []string{"A"}}), uint16(5), byte(0x80))
 	f.Add(FramePing, EncodePing(7), uint16(4), byte(0xFF))
 	f.Add(FrameDone, EncodeDone(Done{Rows: 3}), uint16(0), byte(0x40))
+	f.Add(FrameShardQuery, EncodeShardQuery(ShardQuery{NumShards: 3, KeyCols: []int64{1}, SQL: "SELECT PNUM FROM SUPPLY"}), uint16(6), byte(0x02))
+	f.Add(FrameShardBatch, EncodeShardBatch(ShardBatch{Shard: 1, Batch: RowBatch{Columns: []string{"PNUM"}}}), uint16(2), byte(0x08))
+	f.Add(FrameShardDone, EncodeShardDone(ShardDone{Reads: 2, PerShard: []int64{1, 1, 0}}), uint16(3), byte(0x20))
 
 	f.Fuzz(func(t *testing.T, typ byte, payload []byte, idx uint16, mask byte) {
 		codec := Codec{Checksums: true}

@@ -81,6 +81,12 @@ CRASH_STORM_SHORT=1 go test -race -short -count=1 -run TestCrashStormKill9 ./cmd
 echo "==> go test -race -run TestNetChaosStorm ./internal/server"
 go test -race -count=1 -run TestNetChaosStorm ./internal/server
 
+# Distributed gate: the sharded NEST-JA2 acceptance diff (3 workers vs
+# the single-node oracle, co-located and shuffled placements) and the
+# multi-node chaos storm with every worker link behind the fault proxy.
+echo "==> go test -race -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster"
+go test -race -count=1 -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster
+
 # End-to-end serving smoke: nestedsqld + the Go client + the load
 # harness, including graceful SIGTERM with in-flight streams and a
 # client killed mid-stream.
