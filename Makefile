@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos storm memstorm netchaos cluster crash serve-smoke metamorph bench
+.PHONY: check vet build test race fuzz chaos storm memstorm netchaos cluster cluster-failover crash serve-smoke metamorph bench
 
-check: vet build race fuzz chaos storm memstorm netchaos cluster crash serve-smoke
+check: vet build race fuzz chaos storm memstorm netchaos cluster cluster-failover crash serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,16 @@ netchaos:
 # be typed; workers must quiesce; no goroutine leaks.
 cluster:
 	$(GO) test -race -count=1 -v -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster
+
+# The failover gate: replicated shards surviving a dead node. The
+# deterministic drill (proxy-killed worker: queries reroute, DML lands
+# on the survivor, rejoin re-ships a snapshot), the fast typed
+# ErrWorkerLost check, the replication-aware Analyze refusal table, and
+# the SIGKILL storm — a -race worker killed and restarted empty under
+# concurrent DML + queries, every acked row present exactly once after
+# the fleet heals.
+cluster-failover:
+	$(GO) test -race -count=1 -v -run 'TestClusterFailover|TestWorkerLostFastFailure|TestClusterAnalyzeRefusals' ./internal/cluster
 
 # End-to-end serving gate: boots nestedsqld on a random port, streams
 # the paper workload through the Go client from 8 concurrent

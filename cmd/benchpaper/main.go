@@ -61,6 +61,7 @@ func main() {
 	flag.IntVar(&serveRounds, "rounds", 3, "serve-load: rounds of the query mix per connection")
 	flag.StringVar(&serveSpillDir, "serve-spill-dir", "", "serve-load: enable spill-to-disk on the in-process server, rooted here (empty = off)")
 	flag.IntVar(&serveCluster, "cluster", 0, "serve-load: shard across N in-process workers behind a coordinator and report per-node q/s (0 = single node)")
+	flag.IntVar(&serveReplicas, "replicas", 1, "serve-load: copies per shard; at R>1 the harness also runs the failover drill (kill a worker mid-fleet) and reports replicated-DML commit overhead")
 	serveDML := flag.Int("serve-dml", 0, "drive N sequential acked INSERTs into table DURABLE on -serve-addr, printing the acked count (see serve_smoke.sh phase 4)")
 	serveDMLVerify := flag.Int("serve-dml-verify", -1, "verify the recovered DURABLE table on -serve-addr holds the contiguous acked prefix (N = acked count from -serve-dml)")
 	flag.Parse()

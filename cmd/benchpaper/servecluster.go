@@ -32,6 +32,7 @@ import (
 //	benchpaper -serve-load -cluster 4 -connections 8 -rounds 20
 
 var serveCluster int
+var serveReplicas int
 
 // clusterDataSQL generates the sharded benchmark database: 240
 // suppliers (some with NULL keys, some with no shipments — the COUNT=0
@@ -136,6 +137,7 @@ func expServeCluster() {
 
 	// N workers, each a real wire server on a loopback port.
 	workers := make([]string, serveCluster)
+	workerSrvs := make([]*server.Server, serveCluster)
 	for i := range workers {
 		srv := server.New(engine.New(32), server.Config{Strategy: engine.TransformJA2})
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -145,9 +147,18 @@ func expServeCluster() {
 		go srv.Serve(lis)
 		defer srv.Shutdown(10 * time.Second)
 		workers[i] = lis.Addr().String()
+		workerSrvs[i] = srv
 	}
 
-	co, err := cluster.New(cluster.Config{Workers: workers, IOTimeout: 30 * time.Second})
+	if serveReplicas < 1 {
+		serveReplicas = 1
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:       workers,
+		Replicas:      serveReplicas,
+		IOTimeout:     30 * time.Second,
+		ProbeInterval: 250 * time.Millisecond,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -155,6 +166,21 @@ func expServeCluster() {
 	if _, err := co.ExecSQL(script, engine.Options{}); err != nil {
 		fatal(fmt.Errorf("cluster load: %w", err))
 	}
+
+	// Replicated-DML overhead: timed single-row commits, each acked only
+	// after every live replica logged it. E15 compares R=1 against R=2.
+	const dmlProbe = 200
+	if _, err := co.ExecSQL("CREATE TABLE DML_PROBE (K INTEGER, V INTEGER, PRIMARY KEY (K))", engine.Options{}); err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	for k := 0; k < dmlProbe; k++ {
+		if _, err := co.ExecSQL(fmt.Sprintf("INSERT INTO DML_PROBE VALUES (%d, %d)", k, k*3), engine.Options{}); err != nil {
+			fatal(fmt.Errorf("DML probe commit %d: %w", k, err))
+		}
+	}
+	fmt.Printf("serve-load: replicated DML: %d single-row commits at R=%d, mean %s/commit\n",
+		dmlProbe, co.Replicas(), (time.Since(t0) / dmlProbe).Round(time.Microsecond))
 
 	// Front the coordinator with its own server: clients speak to the
 	// cluster exactly as they would to one node.
@@ -241,6 +267,44 @@ func expServeCluster() {
 		fmt.Printf("serve-load: node %d: %d gathers, %.0f q/s\n",
 			i, n, float64(n)/elapsed.Seconds())
 	}
+
+	// Failover drill (R>1 only): kill one worker outright, measure how
+	// long until the cluster serves its first complete query again, and
+	// re-verify the whole mix against the oracle with the node gone.
+	if serveReplicas > 1 {
+		fmt.Println("serve-load: failover drill: killing worker 0")
+		kill := time.Now()
+		workerSrvs[0].Shutdown(0)
+		var reroute time.Duration
+		for {
+			if _, err := co.ExecSQL(clusterMix[0].sql, engine.Options{Strategy: engine.TransformJA2}); err == nil {
+				reroute = time.Since(kill)
+				break
+			}
+			if time.Since(kill) > 30*time.Second {
+				fmt.Println("serve-load: FAILURE: no query completed within 30s of the kill")
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("serve-load: failover: first query served %s after the kill (worker states: %s)\n",
+			reroute.Round(time.Millisecond), strings.Join(co.WorkerStates(), " "))
+		for i, q := range clusterMix {
+			res, err := co.ExecSQL(q.sql, engine.Options{Strategy: q.engStrat})
+			if err != nil {
+				fmt.Printf("serve-load: FAILURE post-failover %s: %v\n", q.name, err)
+				bad = true
+				continue
+			}
+			if got := canonSorted(res.Columns, res.Rows); !bytes.Equal(got, expected[i]) {
+				fmt.Printf("serve-load: MISMATCH post-failover %s\n", q.name)
+				bad = true
+			}
+		}
+		if !bad {
+			fmt.Println("serve-load: failover: full query mix byte-identical to the oracle with worker 0 dead")
+		}
+	}
+
 	if bad {
 		os.Exit(1)
 	}

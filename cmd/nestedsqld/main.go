@@ -39,7 +39,6 @@ import (
 	"time"
 
 	nestedsql "repro"
-	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/server"
@@ -78,6 +77,8 @@ func main() {
 	coordinator := flag.String("coordinator", "", "run as cluster coordinator over these comma-separated worker addresses (no local engine)")
 	place := flag.String("place", "", "coordinator: comma-separated TABLE=COL partition-key overrides (default: each table's first key column)")
 	ioTimeout := flag.Duration("io-timeout", 10*time.Second, "coordinator: per-frame deadline on worker connections")
+	replicas := flag.Int("replicas", 1, "coordinator: copies per shard; DML acks only after every live replica logged it, and queries fail over to a replica when a worker dies")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator: health-probe cadence; dead workers are automatically rejoined via snapshot re-ship")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -116,7 +117,7 @@ func main() {
 			fail(fmt.Errorf("coordinator mode has no local engine; drop %s (workers own storage)",
 				strings.Join(bad, ", ")))
 		}
-		runCoordinator(*coordinator, *place, *ioTimeout, srvCfg, *addr, *drainTimeout)
+		runCoordinator(*coordinator, *place, *ioTimeout, *replicas, *probeInterval, srvCfg, *addr, *drainTimeout)
 		return
 	}
 
@@ -232,7 +233,7 @@ func serveLoop(srv *server.Server, addr string, drainTimeout time.Duration) {
 // runCoordinator fronts a worker fleet with the same wire protocol a
 // single-node daemon speaks: clients cannot tell (and need not care)
 // that results are gathered from shards.
-func runCoordinator(workerList, placeList string, ioTimeout time.Duration, cfg server.Config, addr string, drainTimeout time.Duration) {
+func runCoordinator(workerList, placeList string, ioTimeout time.Duration, replicas int, probeInterval time.Duration, cfg server.Config, addr string, drainTimeout time.Duration) {
 	workers := splitNonEmpty(workerList)
 	if len(workers) == 0 {
 		fail(fmt.Errorf("-coordinator needs at least one worker address"))
@@ -247,24 +248,24 @@ func runCoordinator(workerList, placeList string, ioTimeout time.Duration, cfg s
 			strings.ToUpper(strings.TrimSpace(col))
 	}
 	co, err := cluster.New(cluster.Config{
-		Workers:   workers,
-		Placement: placement,
-		IOTimeout: ioTimeout,
-		// Worker links are long-lived; ride out a restarting worker
-		// rather than poisoning the whole cluster on one lost TCP conn.
-		Reconnect: &client.ReconnectConfig{MaxAttempts: 5},
+		Workers:       workers,
+		Replicas:      replicas,
+		Placement:     placement,
+		IOTimeout:     ioTimeout,
+		ProbeInterval: probeInterval,
 	})
 	if err != nil {
 		fail(fmt.Errorf("coordinator: %w", err))
 	}
-	fmt.Fprintf(os.Stderr, "nestedsqld: coordinating %d workers: %s\n",
-		co.NumWorkers(), strings.Join(workers, ", "))
+	fmt.Fprintf(os.Stderr, "nestedsqld: coordinating %d workers (replicas=%d): %s\n",
+		co.NumWorkers(), co.Replicas(), strings.Join(workers, ", "))
 
 	serveLoop(server.NewBackend(co, cfg), addr, drainTimeout)
 
 	counts := co.GatherCounts()
+	states := co.WorkerStates()
 	for i, n := range counts {
-		fmt.Fprintf(os.Stderr, "nestedsqld: worker %d (%s): %d gathers\n", i, workers[i], n)
+		fmt.Fprintf(os.Stderr, "nestedsqld: worker %d (%s): %d gathers, %s\n", i, workers[i], n, states[i])
 	}
 	if err := co.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "nestedsqld: coordinator close: %v\n", err)

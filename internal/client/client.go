@@ -735,6 +735,99 @@ func (c *Conn) Scatter(q wire.ShardQuery, fn func(wire.ShardBatch) error) (wire.
 	}
 }
 
+// Snapshot asks a worker for a full copy of one table: the table's
+// schema comes back first, then fn is called for every RowBatch, and the
+// Done summary is returned on success. Like Scatter it never resubmits —
+// a rejoin re-ships the whole snapshot from scratch if the link dies.
+func (c *Conn) Snapshot(table string, fn func(wire.RowBatch) error) (wire.SnapshotMeta, wire.Done, error) {
+	var meta wire.SnapshotMeta
+	var done wire.Done
+	if c.err != nil {
+		return meta, done, c.err
+	}
+	if c.active != nil {
+		return meta, done, errors.New("client: previous stream not closed")
+	}
+	if !c.Cluster() {
+		return meta, done, errors.New("client: server did not grant the cluster feature")
+	}
+	if err := c.tr.write(wire.FrameSnapshot, wire.EncodeSnapshot(wire.Snapshot{Table: table}), 0); err != nil {
+		return meta, done, c.poison(&ConnectionLostError{Cause: err})
+	}
+	var tm *time.Timer
+	var timeout <-chan time.Time
+	if io := c.opts.IOTimeout; io > 0 {
+		tm = time.NewTimer(io)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	gotMeta := false
+	for {
+		tr := c.tr
+		if tm != nil {
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			tm.Reset(c.opts.IOTimeout)
+		}
+		select {
+		case m := <-tr.recv:
+			switch m.typ {
+			case wire.FrameSnapshotMeta:
+				sm, err := wire.DecodeSnapshotMeta(m.payload)
+				if err != nil {
+					return meta, done, c.poison(err)
+				}
+				meta, gotMeta = sm, true
+			case wire.FrameRowBatch:
+				if !gotMeta {
+					return meta, done, c.poison(errors.New("client: snapshot rows before meta"))
+				}
+				b, err := wire.DecodeRowBatch(m.payload)
+				if err != nil {
+					return meta, done, c.poison(err)
+				}
+				if err := fn(b); err != nil {
+					c.tr.close()
+					c.poison(&ConnectionLostError{Cause: err})
+					return meta, done, err
+				}
+			case wire.FrameDone:
+				d, err := wire.DecodeDone(m.payload)
+				if err != nil {
+					return meta, done, c.poison(err)
+				}
+				if !gotMeta {
+					return meta, done, c.poison(errors.New("client: snapshot ended before meta"))
+				}
+				return meta, d, nil
+			case wire.FrameError:
+				f, err := wire.DecodeError(m.payload)
+				if err != nil {
+					return meta, done, c.poison(err)
+				}
+				rerr := &wire.RemoteError{Frame: f}
+				c.noteOverload(rerr)
+				// A typed failure (e.g. unknown relation) leaves the
+				// connection usable.
+				return meta, done, rerr
+			default:
+				return meta, done, c.poison(fmt.Errorf("client: unexpected frame 0x%02x during snapshot", m.typ))
+			}
+		case <-tr.done:
+			lost := &ConnectionLostError{Cause: tr.readErr}
+			return meta, done, c.poison(lost)
+		case <-timeout:
+			c.tr.close()
+			err := fmt.Errorf("client: no frame within %v: %w", c.opts.IOTimeout, ErrConnectionLost)
+			return meta, done, c.poison(err)
+		}
+	}
+}
+
 // Result is a fully materialized query result, for callers that do not
 // need streaming.
 type Result struct {

@@ -136,22 +136,28 @@ var clusterStrategies = []engine.Strategy{
 // sequential oracle's bag of rows — including the NULL-key supplier and
 // the COUNT=0 groups — for both placements: co-located (SP placed on
 // the correlation key SNO, pure 2-local-rounds) and misplaced (SP
-// placed on PNO, forcing the shuffle round).
+// placed on PNO, forcing the shuffle round); each both unreplicated and
+// at R=2, where every shard's slice lives on two workers.
 func TestDistributedNestJA2(t *testing.T) {
 	oracle := oracleDB(t)
-	for _, placement := range []struct {
-		name  string
-		place map[string]string
+	for _, tc := range []struct {
+		name     string
+		place    map[string]string
+		replicas int
 	}{
-		{"co-located", map[string]string{"SP": "SNO"}},
-		{"shuffled", map[string]string{"SP": "PNO"}},
+		{"co-located", map[string]string{"SP": "SNO"}, 1},
+		{"shuffled", map[string]string{"SP": "PNO"}, 1},
+		{"co-located-R2", map[string]string{"SP": "SNO"}, 2},
+		{"shuffled-R2", map[string]string{"SP": "PNO"}, 2},
 	} {
-		t.Run(placement.name, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			addrs, _ := startWorkers(t, 3, false)
 			co, err := cluster.New(cluster.Config{
-				Workers:   addrs,
-				Placement: placement.place,
-				IOTimeout: 10 * time.Second,
+				Workers:       addrs,
+				Replicas:      tc.replicas,
+				Placement:     tc.place,
+				IOTimeout:     10 * time.Second,
+				ProbeInterval: -1,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -178,15 +184,21 @@ func TestDistributedNestJA2(t *testing.T) {
 					}
 				}
 			}
+			if n := co.LiveStaging(); n != 0 {
+				t.Errorf("%d staging tables leaked", n)
+			}
 		})
 	}
 }
 
-// TestClusterDML checks that DML fans out and reads back coherently,
+// TestClusterDML checks that DML fans out and reads back coherently —
+// at R=2, so every statement must land on both replicas of each shard —
 // and that a dropped table disappears from every worker.
 func TestClusterDML(t *testing.T) {
 	addrs, _ := startWorkers(t, 3, false)
-	co, err := cluster.New(cluster.Config{Workers: addrs, IOTimeout: 10 * time.Second})
+	co, err := cluster.New(cluster.Config{
+		Workers: addrs, Replicas: 2, IOTimeout: 10 * time.Second, ProbeInterval: -1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,13 +237,18 @@ func TestClusterDML(t *testing.T) {
 	if _, err := co.ExecSQL("SELECT SP.SNO FROM SP", engine.Options{}); err == nil {
 		t.Fatal("query against dropped table succeeded")
 	}
+	if n := co.LiveStaging(); n != 0 {
+		t.Errorf("%d staging tables leaked", n)
+	}
 }
 
 // TestClusterRejectsNonDistributable: the coordinator answers with a
 // typed refusal instead of a wrong answer.
 func TestClusterRejectsNonDistributable(t *testing.T) {
 	addrs, _ := startWorkers(t, 2, false)
-	co, err := cluster.New(cluster.Config{Workers: addrs, IOTimeout: 10 * time.Second})
+	co, err := cluster.New(cluster.Config{
+		Workers: addrs, IOTimeout: 10 * time.Second, ProbeInterval: -1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,6 +275,8 @@ func typedClusterError(err error) bool {
 	var ne net.Error
 	return errors.As(err, &re) ||
 		errors.Is(err, client.ErrConnectionLost) ||
+		errors.Is(err, cluster.ErrWorkerLost) ||
+		errors.Is(err, cluster.ErrShardUnavailable) ||
 		errors.Is(err, cluster.ErrNotDistributable) ||
 		errors.Is(err, wire.ErrCorruptFrame) ||
 		errors.Is(err, wire.ErrSlowConsumer) ||
@@ -304,15 +323,11 @@ func TestClusterChaosStorm(t *testing.T) {
 	}
 
 	co, err := cluster.New(cluster.Config{
-		Workers:   proxyAddrs,
-		Placement: map[string]string{"SP": "PNO"}, // force shuffles under fire
-		IOTimeout: 3 * time.Second,
-		Reconnect: &client.ReconnectConfig{
-			MaxAttempts: 3,
-			BaseDelay:   5 * time.Millisecond,
-			MaxDelay:    50 * time.Millisecond,
-			Seed:        clusterSeed,
-		},
+		Workers:       proxyAddrs,
+		Replicas:      2, // storms ride out lost links via the peer replica
+		Placement:     map[string]string{"SP": "PNO"}, // force shuffles under fire
+		IOTimeout:     3 * time.Second,
+		ProbeInterval: 100 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -391,6 +406,34 @@ func TestClusterChaosStorm(t *testing.T) {
 		}(ci)
 	}
 	wg.Wait()
+
+	// Heal the links and let the prober repair the fleet: suspect workers
+	// probe back to healthy, dead workers rejoin from a live replica's
+	// snapshot. Stale partitioned conns in the pools cost one IOTimeout
+	// each to flush out, so give the fleet a generous deadline.
+	for _, p := range proxies {
+		p.Arm(netfault.Config{})
+	}
+	healDeadline := time.Now().Add(60 * time.Second)
+	for {
+		states := co.WorkerStates()
+		healthy := 0
+		for _, s := range states {
+			if s == "healthy" {
+				healthy++
+			}
+		}
+		if healthy == len(states) {
+			break
+		}
+		if time.Now().After(healDeadline) {
+			t.Fatalf("fleet never healed after the storm: %v", states)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := co.SweepStaging(); n != 0 {
+		t.Errorf("%d staging tables still live after the fleet healed and a sweep", n)
+	}
 
 	var injected int64
 	for _, p := range proxies {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -21,8 +22,12 @@ import (
 // Config tunes a Coordinator.
 type Config struct {
 	// Workers are the addresses of the worker nestedsqld instances. The
-	// slice order defines shard numbering: shard i lives on Workers[i].
+	// slice order defines shard numbering: shard i's primary is
+	// Workers[i], its replicas the next R-1 workers round-robin.
 	Workers []string
+	// Replicas is the copy count R per shard (0 or 1 = unreplicated).
+	// Must not exceed len(Workers).
+	Replicas int
 	// Placement overrides the partition column per table (UPPER names).
 	// A table not listed defaults to its first primary-key column, or
 	// its first column when no key is declared.
@@ -31,12 +36,15 @@ type Config struct {
 	DialTimeout time.Duration
 	// IOTimeout bounds each per-frame wait on worker connections.
 	IOTimeout time.Duration
-	// Reconnect configures transparent redialing of lost worker links;
-	// nil disables it (a lost worker fails the statement).
-	Reconnect *client.ReconnectConfig
 	// InsertBatch bounds rows per INSERT statement when routing loads
 	// and flushing shuffles (0 = 256).
 	InsertBatch int
+	// PoolIdle bounds idle pooled connections per worker (0 = 4).
+	PoolIdle int
+	// ProbeInterval is the health prober's cadence: suspect workers are
+	// probe-dialed back to healthy, dead workers are automatically
+	// rejoined via snapshot re-ship (0 = 1s, negative = no prober).
+	ProbeInterval time.Duration
 }
 
 func (c Config) insertBatch() int {
@@ -46,96 +54,203 @@ func (c Config) insertBatch() int {
 	return c.InsertBatch
 }
 
-// Coordinator is the cluster's client-facing backend: it owns the
-// catalog mirror and the placement map, fans DDL and DML out to the
-// workers, and runs distributable SELECTs as scatter/gather plans. It
-// implements server.Backend, so cmd/nestedsqld can serve it behind the
-// same wire protocol a single-node engine uses.
-//
-// Statements are serialized under one mutex: worker connections are
-// plain client.Conns (one in-flight stream each), and a shuffle must
-// not interleave with DDL that could drop its staging tables. The
-// concurrency story is per-worker inside each statement, not across
-// statements — matching the repo's admission model where the expensive
-// work (the per-shard round 2) runs engine-side anyway.
-type Coordinator struct {
-	cfg Config
-
-	mu    sync.Mutex
-	conns []*client.Conn
-	cat   *schema.Catalog
-	place map[string]string // UPPER(table) -> UPPER(partition column)
-	qid   uint64            // staging-name counter
-	stats struct {
-		perWorker []int64 // round-2 gathers issued per worker
+func (c Config) replicas() int {
+	if c.Replicas <= 1 {
+		return 1
 	}
+	return c.Replicas
 }
 
-// New dials every worker and verifies each granted the cluster feature
-// (only servers fronting a local engine do — a coordinator cannot be a
-// worker for another coordinator).
+// Coordinator is the cluster's client-facing backend: it owns the
+// catalog mirror and the placement map, fans DDL and DML out to all
+// replicas of each shard, and runs distributable SELECTs as
+// scatter/gather plans with per-shard failover. It implements
+// server.Backend, so cmd/nestedsqld can serve it behind the same wire
+// protocol a single-node engine uses.
+//
+// Each logical table T materializes as one physical table per shard,
+// T__S<i>, present on every replica of shard i — a worker hosting R
+// shards holds R such slices, and round 2 runs per shard against one
+// live replica of that slice. SELECTs share an RWMutex read lock (the
+// per-worker connection pools make concurrent statements real work, not
+// just interleaved waits); DDL, DML, and rejoins take the write lock.
+type Coordinator struct {
+	cfg      Config
+	nshards  int
+	replicas int
+
+	pools  []*client.Pool
+	health *healthTracker
+
+	mu    sync.RWMutex // catalog + placement: RLock SELECT, Lock DDL/DML/rejoin
+	cat   *schema.Catalog
+	place map[string]string // UPPER(table) -> UPPER(partition column)
+
+	qid       atomic.Uint64 // staging-name counter
+	perWorker []int64       // round-2 gathers served, atomic
+
+	staging struct {
+		sync.Mutex
+		tables map[string]map[int]bool // physical staging table -> workers holding it
+	}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New dials every worker once to verify it is reachable and granted the
+// cluster feature (only servers fronting a local engine do), then
+// starts the health prober. Bootstrap needs the full fleet; failover
+// covers workers lost after that.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("cluster: no workers configured")
 	}
-	co := &Coordinator{
-		cfg:   cfg,
-		cat:   schema.NewCatalog(),
-		place: make(map[string]string),
+	if cfg.replicas() > len(cfg.Workers) {
+		return nil, fmt.Errorf("cluster: %d replicas need at least %d workers, have %d",
+			cfg.replicas(), cfg.replicas(), len(cfg.Workers))
 	}
-	co.stats.perWorker = make([]int64, len(cfg.Workers))
+	co := &Coordinator{
+		cfg:       cfg,
+		nshards:   len(cfg.Workers),
+		replicas:  cfg.replicas(),
+		cat:       schema.NewCatalog(),
+		place:     make(map[string]string),
+		health:    newHealthTracker(len(cfg.Workers)),
+		perWorker: make([]int64, len(cfg.Workers)),
+		stop:      make(chan struct{}),
+	}
+	co.staging.tables = make(map[string]map[int]bool)
+	opts := client.DialOptions{Timeout: cfg.DialTimeout, IOTimeout: cfg.IOTimeout}
 	for _, addr := range cfg.Workers {
-		conn, err := client.DialOpts(addr, client.DialOptions{
-			Timeout:   cfg.DialTimeout,
-			IOTimeout: cfg.IOTimeout,
-			Reconnect: cfg.Reconnect,
-		})
-		if err == nil && !conn.Cluster() {
-			conn.Close()
-			err = fmt.Errorf("cluster: worker %s did not grant the cluster feature", addr)
-		}
+		co.pools = append(co.pools, client.NewPool(addr, opts, cfg.PoolIdle))
+	}
+	for w := range co.pools {
+		conn, err := co.getConn(w)
 		if err != nil {
 			co.Close()
 			return nil, err
 		}
-		co.conns = append(co.conns, conn)
+		co.pools[w].Put(conn)
+	}
+	if interval := cfg.ProbeInterval; interval >= 0 {
+		if interval == 0 {
+			interval = time.Second
+		}
+		co.wg.Add(1)
+		go co.probeLoop(interval)
 	}
 	return co, nil
 }
 
-// Close drops every worker connection.
+// Close stops the prober and drops every pooled worker connection.
 func (co *Coordinator) Close() error {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	for _, c := range co.conns {
-		c.Close()
+	co.stopOnce.Do(func() { close(co.stop) })
+	co.wg.Wait()
+	for _, p := range co.pools {
+		p.Close()
 	}
 	return nil
 }
 
 // Drain satisfies server.Backend. The coordinator holds no queries of
-// its own — in-flight statements finish under the mutex, and the
-// workers drain their engines during their own shutdowns.
+// its own — in-flight statements finish under the statement lock, and
+// the workers drain their engines during their own shutdowns.
 func (co *Coordinator) Drain(time.Duration) error { return nil }
 
-// NumWorkers returns the shard count.
+// NumWorkers returns the worker (and shard) count.
 func (co *Coordinator) NumWorkers() int { return len(co.cfg.Workers) }
 
-// GatherCounts returns how many round-2 subqueries each worker has
+// Replicas returns the configured copy count per shard.
+func (co *Coordinator) Replicas() int { return co.replicas }
+
+// WorkerStates returns every worker's failover state name
+// (healthy/suspect/dead/rejoining), index-aligned with Config.Workers.
+func (co *Coordinator) WorkerStates() []string { return co.health.snapshot() }
+
+// GatherCounts returns how many round-2 shard queries each worker has
 // served, for load reporting (benchpaper's per-node q/s).
 func (co *Coordinator) GatherCounts() []int64 {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	return append([]int64(nil), co.stats.perWorker...)
+	out := make([]int64, len(co.perWorker))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&co.perWorker[i])
+	}
+	return out
+}
+
+// physName is the shard-suffixed physical table backing one shard's
+// slice of a logical table. The "__" namespace is reserved at CREATE,
+// so physical names can never collide with user tables.
+func physName(table string, shard int) string {
+	return fmt.Sprintf("%s__S%d", table, shard)
+}
+
+// replicasOf lists the workers hosting shard s: the primary s and the
+// next replicas-1 workers round-robin.
+func (co *Coordinator) replicasOf(s int) []int {
+	out := make([]int, co.replicas)
+	for j := range out {
+		out[j] = (s + j) % co.nshards
+	}
+	return out
+}
+
+// hostedShards lists the shards whose slices worker w holds.
+func (co *Coordinator) hostedShards(w int) []int {
+	out := make([]int, co.replicas)
+	for j := range out {
+		out[j] = (w - j + co.nshards) % co.nshards
+	}
+	return out
+}
+
+// getConn checks a connection to worker w out of its pool. Failures are
+// transport-class by construction (dial refusal, handshake loss), so
+// they count against the breaker and come back as *WorkerLostError.
+func (co *Coordinator) getConn(w int) (*client.Conn, error) {
+	conn, err := co.pools[w].Get()
+	if err == nil && !conn.Cluster() {
+		co.pools[w].Discard(conn)
+		err = errors.New("did not grant the cluster feature")
+	}
+	if err != nil {
+		co.health.markFailure(w)
+		return nil, &WorkerLostError{Worker: w, Addr: co.pools[w].Addr(), Cause: err}
+	}
+	return conn, nil
+}
+
+// collect runs one statement on worker w through its pool, classifying
+// the outcome: transport failures discard the conn, trip the breaker,
+// and come back as *WorkerLostError; typed answers return the conn and
+// pass through untouched.
+func (co *Coordinator) collect(w int, sql string) (*client.Result, error) {
+	conn, err := co.getConn(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout})
+	if err != nil {
+		if transportFailure(err) {
+			co.pools[w].Discard(conn)
+			co.health.markFailure(w)
+			return nil, &WorkerLostError{Worker: w, Addr: co.pools[w].Addr(), Cause: err}
+		}
+		co.pools[w].Put(conn)
+		return nil, err
+	}
+	co.pools[w].Put(conn)
+	co.health.markSuccess(w)
+	return res, nil
 }
 
 // ExecSQL runs a script of statements against the cluster, mirroring
 // engine.Exec's contract: the result is the last SELECT's, Affected
 // accumulates DML counts, and a failing statement aborts the script
-// with prior statements applied.
+// with prior statements applied. SELECTs share the read lock; DDL and
+// DML serialize under the write lock.
 func (co *Coordinator) ExecSQL(sql string, opts engine.Options) (*engine.Result, error) {
-	co.mu.Lock()
-	defer co.mu.Unlock()
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
 		return nil, err
@@ -143,42 +258,23 @@ func (co *Coordinator) ExecSQL(sql string, opts engine.Options) (*engine.Result,
 	var last *engine.Result
 	var affected int64
 	for _, stmt := range stmts {
-		switch stmt := stmt.(type) {
-		case *sqlparser.CreateTableStmt:
-			if err := co.execCreate(stmt.Relation); err != nil {
-				return nil, err
-			}
-		case *sqlparser.InsertStmt:
-			n, err := co.execInsert(stmt)
-			if err != nil {
-				return nil, err
-			}
-			affected += n
-		case *sqlparser.DeleteStmt:
-			n, err := co.execFilterDML(stmt.Table, stmt.Where, stmt)
-			if err != nil {
-				return nil, err
-			}
-			affected += n
-		case *sqlparser.UpdateStmt:
-			n, err := co.execFilterDML(stmt.Table, stmt.Where, stmt)
-			if err != nil {
-				return nil, err
-			}
-			affected += n
-		case *sqlparser.DropTableStmt:
-			if err := co.execDrop(stmt.Table); err != nil {
-				return nil, err
-			}
-		case *sqlparser.SelectStmt:
-			res, err := co.query(stmt.Query, opts)
+		if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+			co.mu.RLock()
+			res, err := co.query(sel.Query, opts)
+			co.mu.RUnlock()
 			if err != nil {
 				return nil, err
 			}
 			last = res
-		default:
-			return nil, fmt.Errorf("cluster: unsupported statement %T", stmt)
+			continue
 		}
+		co.mu.Lock()
+		n, err := co.execWrite(stmt)
+		co.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		affected += n
 	}
 	if last == nil {
 		last = &engine.Result{Strategy: opts.Strategy}
@@ -187,9 +283,34 @@ func (co *Coordinator) ExecSQL(sql string, opts engine.Options) (*engine.Result,
 	return last, nil
 }
 
+// execWrite dispatches one non-SELECT statement under the write lock.
+func (co *Coordinator) execWrite(stmt sqlparser.Statement) (int64, error) {
+	switch stmt := stmt.(type) {
+	case *sqlparser.CreateTableStmt:
+		return 0, co.execCreate(stmt.Relation)
+	case *sqlparser.InsertStmt:
+		return co.execInsert(stmt)
+	case *sqlparser.DeleteStmt:
+		return co.execFilterDML(stmt.Table, stmt.Where, stmt)
+	case *sqlparser.UpdateStmt:
+		return co.execFilterDML(stmt.Table, stmt.Where, stmt)
+	case *sqlparser.DropTableStmt:
+		return 0, co.execDrop(stmt.Table)
+	default:
+		return 0, fmt.Errorf("cluster: unsupported statement %T", stmt)
+	}
+}
+
 // execCreate defines the relation in the catalog mirror, picks its
-// placement column, and broadcasts the CREATE to every worker.
+// placement column, and creates each shard's physical slice on every
+// live replica of that shard. A replica that drops its link mid-CREATE
+// is marked dead (it missed DDL another replica applied) rather than
+// failing the statement — as long as every shard lands on at least one
+// replica.
 func (co *Coordinator) execCreate(rel *schema.Relation) error {
+	if strings.Contains(rel.Name, "__") {
+		return fmt.Errorf("cluster: table name %s collides with the reserved __ shard namespace", rel.Name)
+	}
 	if err := co.cat.Define(rel); err != nil {
 		return err
 	}
@@ -206,10 +327,42 @@ func (co *Coordinator) execCreate(rel *schema.Relation) error {
 	} else {
 		place = strings.ToUpper(rel.Columns[0].Name)
 	}
-	if err := co.broadcast(renderCreate(rel)); err != nil {
+	type site struct{ w, s int }
+	var created []site
+	undo := func() {
+		for _, c := range created {
+			co.dropIgnoreMissing(c.w, physName(rel.Name, c.s))
+		}
 		co.cat.Drop(rel.Name)
-		co.broadcastBestEffort("DROP TABLE " + rel.Name)
-		return err
+	}
+	for s := 0; s < co.nshards; s++ {
+		acks := 0
+		var lastErr error
+		for _, w := range co.replicasOf(s) {
+			if !co.health.live(w) {
+				continue
+			}
+			srel := &schema.Relation{Name: physName(rel.Name, s), Columns: rel.Columns, Key: rel.Key}
+			if _, err := co.collect(w, RenderCreate(srel)); err != nil {
+				if transportFailure(err) {
+					// This replica missed DDL its peers applied: diverged.
+					co.health.markDead(w)
+					lastErr = err
+					continue
+				}
+				undo()
+				return err
+			}
+			created = append(created, site{w, s})
+			acks++
+		}
+		if acks == 0 {
+			undo()
+			if lastErr != nil {
+				return fmt.Errorf("%w %d: %w", ErrShardUnavailable, s, lastErr)
+			}
+			return fmt.Errorf("%w %d", ErrShardUnavailable, s)
+		}
 	}
 	co.place[up] = place
 	return nil
@@ -218,7 +371,9 @@ func (co *Coordinator) execCreate(rel *schema.Relation) error {
 // execInsert coerces each row's literals against the schema — hashing
 // must see the value a worker will store, not the raw literal, or a
 // DATE partition key would land rows on the wrong shard — then routes
-// every row to its placement shard as per-worker INSERT statements.
+// every row to its shard and fans each shard's rows out to all live
+// replicas synchronously: the client's ack means every live replica
+// logged the rows.
 func (co *Coordinator) execInsert(stmt *sqlparser.InsertStmt) (int64, error) {
 	rel, ok := co.cat.Lookup(stmt.Table)
 	if !ok {
@@ -228,8 +383,8 @@ func (co *Coordinator) execInsert(stmt *sqlparser.InsertStmt) (int64, error) {
 	if pidx < 0 {
 		return 0, fmt.Errorf("cluster: relation %s has no placement column", rel.Name)
 	}
-	part := Partitioner{NumShards: len(co.conns), KeyCols: []int{pidx}}
-	routed := make([][][]value.Value, len(co.conns))
+	part := Partitioner{NumShards: co.nshards, KeyCols: []int{pidx}}
+	routed := make([][][]value.Value, co.nshards)
 	for _, row := range stmt.Rows {
 		if len(row) != len(rel.Columns) {
 			return 0, fmt.Errorf("cluster: INSERT row has %d values, %s has %d columns",
@@ -246,18 +401,80 @@ func (co *Coordinator) execInsert(stmt *sqlparser.InsertStmt) (int64, error) {
 		d := part.Shard(t)
 		routed[d] = append(routed[d], t)
 	}
-	var affected int64
-	for d, rows := range routed {
-		n, err := co.insertRows(d, rel.Name, rows)
-		if err != nil {
-			return affected, err
+	write := func(w, s int) (int64, error) {
+		return co.insertRows(w, physName(rel.Name, s), routed[s])
+	}
+	return co.fanOutWrite(routed, write)
+}
+
+// fanOutWrite runs one write per (shard, live replica) concurrently and
+// settles each shard: at least one ack commits the shard (its row count
+// counted once); a replica that failed while a peer acked has diverged
+// and is marked dead; a shard with zero acks fails the statement.
+func (co *Coordinator) fanOutWrite(routed [][][]value.Value, write func(w, s int) (int64, error)) (int64, error) {
+	type attempt struct {
+		w, s int
+		n    int64
+		err  error
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	attempts := make(map[int][]*attempt) // shard -> replica attempts
+	for s := 0; s < co.nshards; s++ {
+		if routed != nil && len(routed[s]) == 0 {
+			continue
 		}
-		affected += n
+		for _, w := range co.replicasOf(s) {
+			if !co.health.live(w) {
+				continue
+			}
+			a := &attempt{w: w, s: s}
+			mu.Lock()
+			attempts[s] = append(attempts[s], a)
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a.n, a.err = write(a.w, a.s)
+			}()
+		}
+	}
+	wg.Wait()
+	var affected int64
+	for s := 0; s < co.nshards; s++ {
+		as := attempts[s]
+		if routed != nil && len(routed[s]) == 0 {
+			continue
+		}
+		if len(as) == 0 {
+			return affected, fmt.Errorf("%w %d", ErrShardUnavailable, s)
+		}
+		acked := false
+		var firstErr error
+		for _, a := range as {
+			if a.err == nil && !acked {
+				affected += a.n
+				acked = true
+			} else if a.err != nil && firstErr == nil {
+				firstErr = a.err
+			}
+		}
+		if !acked {
+			return affected, firstErr
+		}
+		for _, a := range as {
+			if a.err != nil {
+				// A peer acked what this replica missed: it has diverged
+				// and must rejoin from a snapshot before serving again.
+				co.health.markDead(a.w)
+			}
+		}
 	}
 	return affected, nil
 }
 
-// insertRows flushes rows to one worker in InsertBatch-sized chunks.
+// insertRows flushes rows to one worker's physical table in
+// InsertBatch-sized chunks.
 func (co *Coordinator) insertRows(worker int, table string, rows [][]value.Value) (int64, error) {
 	var n int64
 	batch := co.cfg.insertBatch()
@@ -268,18 +485,20 @@ func (co *Coordinator) insertRows(worker int, table string, rows [][]value.Value
 		}
 		rows = rows[len(chunk):]
 		stmt := &sqlparser.InsertStmt{Table: table, Rows: chunk}
-		res, err := co.conns[worker].Collect(stmt.String(), client.Options{Timeout: co.cfg.IOTimeout})
+		res, err := co.collect(worker, stmt.String())
 		if err != nil {
-			return n, fmt.Errorf("cluster: worker %d: %w", worker, err)
+			return n, err
 		}
 		n += res.Done.Rows
 	}
 	return n, nil
 }
 
-// execFilterDML broadcasts a DELETE or UPDATE whose WHERE clause is
-// row-local. Subqueries are rejected: their evaluation would see only
-// each worker's slice, deleting (or keeping) the wrong rows.
+// execFilterDML fans a DELETE or UPDATE whose WHERE clause is row-local
+// out to every live replica of every shard, rewritten per shard against
+// the physical table. Subqueries are rejected: their evaluation would
+// see only each shard's slice, deleting (or keeping) the wrong rows.
+// Affected counts one replica per shard — the copies are identical.
 func (co *Coordinator) execFilterDML(table string, where []ast.Predicate, stmt sqlparser.Statement) (int64, error) {
 	if _, ok := co.cat.Lookup(table); !ok {
 		return 0, fmt.Errorf("cluster: unknown relation %s", table)
@@ -289,58 +508,102 @@ func (co *Coordinator) execFilterDML(table string, where []ast.Predicate, stmt s
 			return 0, notDistributable("DELETE/UPDATE with a subquery would evaluate it per-shard")
 		}
 	}
-	type renderer interface{ String() string }
-	sql := stmt.(renderer).String()
-	var affected int64
-	for i, conn := range co.conns {
-		res, err := conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout})
-		if err != nil {
-			return affected, fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
-		affected += res.Done.Rows
+	sqls := make([]string, co.nshards)
+	for s := range sqls {
+		sqls[s] = renderShardDML(stmt, s)
 	}
-	return affected, nil
+	write := func(w, s int) (int64, error) {
+		res, err := co.collect(w, sqls[s])
+		if err != nil {
+			return 0, err
+		}
+		return res.Done.Rows, nil
+	}
+	return co.fanOutWrite(nil, write)
 }
 
+// renderShardDML rewrites a single-table DELETE/UPDATE against one
+// shard's physical table. Column qualifiers are stripped: DML with a
+// subquery is refused, so every reference belongs to the one renamed
+// table and an unqualified name is unambiguous.
+func renderShardDML(stmt sqlparser.Statement, shard int) string {
+	switch st := stmt.(type) {
+	case *sqlparser.DeleteStmt:
+		out := &sqlparser.DeleteStmt{Table: physName(st.Table, shard), Where: stripQualifiers(st.Where)}
+		return out.String()
+	case *sqlparser.UpdateStmt:
+		out := &sqlparser.UpdateStmt{Table: physName(st.Table, shard), Set: st.Set, Where: stripQualifiers(st.Where)}
+		return out.String()
+	default:
+		panic(fmt.Sprintf("cluster: renderShardDML on %T", stmt))
+	}
+}
+
+// stripQualifiers deep-copies the predicates with every column's table
+// qualifier cleared.
+func stripQualifiers(where []ast.Predicate) []ast.Predicate {
+	if len(where) == 0 {
+		return nil
+	}
+	out := make([]ast.Predicate, len(where))
+	for i, p := range where {
+		out[i] = ast.ClonePredicate(p)
+	}
+	qb := &ast.QueryBlock{Where: out}
+	qb.RewriteLocalColumns(func(c ast.ColumnRef) ast.ColumnRef {
+		c.Table = ""
+		return c
+	})
+	return out
+}
+
+// execDrop removes every shard slice from every live replica. Transport
+// failures mark the replica dead and move on — the table is gone from
+// the catalog either way, and a rejoin rebuilds only cataloged tables.
 func (co *Coordinator) execDrop(table string) error {
-	if _, ok := co.cat.Lookup(table); !ok {
+	rel, ok := co.cat.Lookup(table)
+	if !ok {
 		return fmt.Errorf("cluster: unknown relation %s", table)
 	}
-	if err := co.broadcast("DROP TABLE " + table); err != nil {
-		return err
+	for s := 0; s < co.nshards; s++ {
+		for _, w := range co.replicasOf(s) {
+			if !co.health.live(w) {
+				continue
+			}
+			if err := co.dropIgnoreMissing(w, physName(rel.Name, s)); err != nil {
+				if transportFailure(err) {
+					co.health.markDead(w)
+					continue
+				}
+				return err
+			}
+		}
 	}
 	co.cat.Drop(table)
 	delete(co.place, strings.ToUpper(table))
 	return nil
 }
 
-// broadcast runs one statement on every worker, failing on the first
-// error.
-func (co *Coordinator) broadcast(sql string) error {
-	for i, conn := range co.conns {
-		if _, err := conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout}); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
+// dropIgnoreMissing drops one physical table on one worker, treating
+// "unknown relation" as success (already gone).
+func (co *Coordinator) dropIgnoreMissing(w int, phys string) error {
+	_, err := co.collect(w, "DROP TABLE "+phys)
+	if err != nil && unknownRelation(err) {
+		return nil
 	}
-	return nil
-}
-
-// broadcastBestEffort runs one statement on every worker, ignoring
-// failures — cleanup of staging tables must not mask the real error.
-func (co *Coordinator) broadcastBestEffort(sql string) {
-	for _, conn := range co.conns {
-		conn.Collect(sql, client.Options{Timeout: co.cfg.IOTimeout})
-	}
+	return err
 }
 
 // query runs one SELECT as a distributed plan:
 //
 //	round 1 (only when some table's placement differs from the key the
-//	         query requires): shuffle — every worker scatters its slice
-//	         of that table partitioned by the required key, and the
-//	         coordinator lands the rows in per-worker staging tables;
-//	round 2: the query — rewritten over the staging tables — runs
-//	         whole on every worker, and the results are concatenated.
+//	         query requires): shuffle — each shard's slice scatters
+//	         partitioned by the required key, and the coordinator lands
+//	         the rows in per-shard staging tables on every replica;
+//	round 2: the query — rewritten per shard over the physical tables —
+//	         runs whole against one live replica of each shard, failing
+//	         over to the next replica on a lost link, and the per-shard
+//	         results are concatenated in shard order.
 //
 // Analyze proves the concatenation equals the single-node result; a
 // query it rejects fails with ErrNotDistributable rather than running
@@ -355,145 +618,266 @@ func (co *Coordinator) query(qb *ast.QueryBlock, opts engine.Options) (*engine.R
 		return nil, err
 	}
 
-	staged := make(map[string]string) // UPPER(table) -> staging name
+	// okBy[s][w]: replica w of shard s holds everything round 2 needs —
+	// shuffles knock out replicas that missed a staging landing.
+	okBy := make([][]bool, co.nshards)
+	for s := range okBy {
+		okBy[s] = make([]bool, co.nshards)
+		for w := range okBy[s] {
+			okBy[s][w] = true
+		}
+	}
+	staged := make(map[string]string) // UPPER(table) -> staging logical name
+	var stagedPhys []string
 	defer func() {
-		for _, sname := range staged {
-			co.broadcastBestEffort("DROP TABLE " + sname)
+		for _, phys := range stagedPhys {
+			co.dropStaging(phys)
 		}
 	}()
 	for table, col := range req {
 		if col == "" || col == co.place[table] {
 			continue // co-located (or placement-independent) already
 		}
-		sname, err := co.shuffle(table, col, opts)
+		sname, phys, err := co.shuffle(table, col, opts, okBy)
+		stagedPhys = append(stagedPhys, phys...)
 		if err != nil {
 			return nil, err
 		}
 		staged[table] = sname
 	}
-	if len(staged) > 0 {
-		ast.VisitBlocks(qb, func(b *ast.QueryBlock, _ int) bool {
-			for i := range b.From {
-				if sname, ok := staged[strings.ToUpper(b.From[i].Relation)]; ok {
-					// Keep the binding name stable so every column
-					// reference still resolves on the workers.
-					b.From[i].Alias = b.From[i].Binding()
-					b.From[i].Relation = sname
-				}
+
+	// Rewrite once per shard: record every table reference and its
+	// logical target, pin the binding name so column references still
+	// resolve, then rename serially and render each shard's SQL before
+	// any of them dispatches.
+	type refSite struct {
+		ref     *ast.TableRef
+		logical string
+	}
+	var sites []refSite
+	ast.VisitBlocks(qb, func(b *ast.QueryBlock, _ int) bool {
+		for i := range b.From {
+			t := &b.From[i]
+			logical := t.Relation
+			if sname, ok := staged[strings.ToUpper(t.Relation)]; ok {
+				logical = sname
 			}
-			return true
-		})
+			t.Alias = t.Binding()
+			sites = append(sites, refSite{t, logical})
+		}
+		return true
+	})
+	sqls := make([]string, co.nshards)
+	for s := range sqls {
+		for _, site := range sites {
+			site.ref.Relation = physName(site.logical, s)
+		}
+		sqls[s] = qb.String()
 	}
 
 	cols := make([]string, len(outs))
 	for i, o := range outs {
 		cols[i] = o.Name
 	}
-	return co.gather(qb.String(), cols, opts)
+	return co.gather(sqls, cols, opts, okBy)
 }
 
-// shuffle re-partitions one table by the required key into a fresh
-// staging table on every worker (round 1). Each worker partitions its
-// own slice — rows cross the network once, worker → coordinator →
-// destination worker; there are no worker↔worker links to manage.
-func (co *Coordinator) shuffle(table, keyCol string, opts engine.Options) (string, error) {
+// shuffle re-partitions one table by the required key into fresh
+// per-shard staging tables on every replica (round 1). Each shard's
+// slice is scattered from one live replica — failing over like a
+// gather — and every landed row fans out to all replicas of its
+// destination shard, so round 2 can fail over too. Returns the staging
+// logical name and every physical staging table created (for cleanup,
+// even on error).
+func (co *Coordinator) shuffle(table, keyCol string, opts engine.Options, okBy [][]bool) (string, []string, error) {
 	rel, ok := co.cat.Lookup(table)
 	if !ok {
-		return "", fmt.Errorf("cluster: unknown relation %s", table)
+		return "", nil, fmt.Errorf("cluster: unknown relation %s", table)
 	}
 	kidx := rel.ColumnIndex(keyCol)
 	if kidx < 0 {
-		return "", fmt.Errorf("cluster: relation %s has no column %s", rel.Name, keyCol)
+		return "", nil, fmt.Errorf("cluster: relation %s has no column %s", rel.Name, keyCol)
 	}
-	co.qid++
-	sname := fmt.Sprintf("%s__X%d", rel.Name, co.qid)
-	// Key columns survive re-partitioning (a per-shard subset of a
-	// globally unique key is still unique), and keeping them preserves
-	// the planner's duplicate-safety reasoning on the workers.
-	srel := &schema.Relation{Name: sname, Columns: rel.Columns, Key: rel.Key}
-	if err := co.broadcast(renderCreate(srel)); err != nil {
-		return "", err
+	sname := fmt.Sprintf("%s__X%d", rel.Name, co.qid.Add(1))
+
+	// Create the staging slices. A replica that cannot take its slice is
+	// excluded from this query's round-2 candidates for that shard, not
+	// failed — replication exists to absorb exactly this.
+	var phys []string
+	for d := 0; d < co.nshards; d++ {
+		pname := physName(sname, d)
+		// Key columns survive re-partitioning (a per-shard subset of a
+		// globally unique key is still unique), and keeping them
+		// preserves the planner's duplicate-safety reasoning.
+		srel := &schema.Relation{Name: pname, Columns: rel.Columns, Key: rel.Key}
+		acks := 0
+		for _, w := range co.replicasOf(d) {
+			if !co.health.live(w) {
+				okBy[d][w] = false
+				continue
+			}
+			if _, err := co.collect(w, RenderCreate(srel)); err != nil {
+				if transportFailure(err) {
+					okBy[d][w] = false
+					continue
+				}
+				return "", phys, err
+			}
+			co.stagingAdd(pname, w)
+			if acks == 0 {
+				phys = append(phys, pname)
+			}
+			acks++
+		}
+		if acks == 0 {
+			return "", phys, fmt.Errorf("%w %d: no replica can stage %s", ErrShardUnavailable, d, sname)
+		}
 	}
-	// Drop eagerly on scatter failure; success hands ownership to the
-	// caller's deferred cleanup via the staged map.
+
+	// Scatter: each source shard's slice partitions by the new key on
+	// whichever live replica serves it, buffered per attempt so a
+	// failover never double-counts rows.
+	sq := wire.ShardQuery{
+		TimeoutMicros: opts.Timeout.Microseconds(),
+		Strategy:      wire.StrategyNested, // a flat scan; no transform to pick
+		NumShards:     int64(co.nshards),
+		KeyCols:       []int64{int64(kidx)},
+	}
 	colNames := make([]string, len(rel.Columns))
 	for i, c := range rel.Columns {
 		colNames[i] = c.Name
 	}
-	scan := "SELECT " + strings.Join(colNames, ", ") + " FROM " + rel.Name
-	sq := wire.ShardQuery{
-		TimeoutMicros: opts.Timeout.Microseconds(),
-		Strategy:      wire.StrategyNested, // a flat scan; no transform to pick
-		NumShards:     int64(len(co.conns)),
-		KeyCols:       []int64{int64(kidx)},
-		SQL:           scan,
-	}
-	// All workers scatter concurrently (each on its own connection),
-	// each into a private routing table; the tables merge source-major
-	// afterwards so the staged row order stays deterministic.
-	sourced := make([][][][]value.Value, len(co.conns))
-	scatterErr := make([]error, len(co.conns))
+	sourced := make([][][][]value.Value, co.nshards)
+	scatterErr := make([]error, co.nshards)
 	var wg sync.WaitGroup
-	for i, conn := range co.conns {
+	for s := 0; s < co.nshards; s++ {
 		wg.Add(1)
-		go func(i int, conn *client.Conn) {
+		go func(s int) {
 			defer wg.Done()
-			local := make([][][]value.Value, len(co.conns))
-			_, err := conn.Scatter(sq, func(b wire.ShardBatch) error {
-				if int(b.Shard) >= len(local) {
-					return fmt.Errorf("cluster: worker %d sent shard %d of %d", i, b.Shard, len(local))
-				}
-				for _, row := range b.Batch.Rows {
-					local[b.Shard] = append(local[b.Shard], []value.Value(row))
-				}
-				return nil
-			})
-			sourced[i], scatterErr[i] = local, err
-		}(i, conn)
+			q := sq
+			q.SQL = "SELECT " + strings.Join(colNames, ", ") + " FROM " + physName(rel.Name, s)
+			sourced[s], scatterErr[s] = co.scatterShard(s, q)
+		}(s)
 	}
 	wg.Wait()
-	for i, err := range scatterErr {
+	for s, err := range scatterErr {
 		if err != nil {
-			co.broadcastBestEffort("DROP TABLE " + sname)
-			return "", fmt.Errorf("cluster: scatter of %s from worker %d: %w", rel.Name, i, err)
+			return "", phys, fmt.Errorf("cluster: scatter of %s shard %d: %w", rel.Name, s, err)
 		}
 	}
-	routed := make([][][]value.Value, len(co.conns))
+	routed := make([][][]value.Value, co.nshards)
 	for _, local := range sourced {
 		for d, rows := range local {
 			routed[d] = append(routed[d], rows...)
 		}
 	}
-	// Landing fans out too: destination d owns connection d exclusively.
-	landErr := make([]error, len(routed))
-	for d, rows := range routed {
-		wg.Add(1)
-		go func(d int, rows [][]value.Value) {
-			defer wg.Done()
-			_, landErr[d] = co.insertRows(d, sname, rows)
-		}(d, rows)
+
+	// Land each destination slice on every replica still in the running.
+	type landing struct {
+		d, w int
+		err  error
 	}
-	wg.Wait()
-	for _, err := range landErr {
-		if err != nil {
-			co.broadcastBestEffort("DROP TABLE " + sname)
-			return "", fmt.Errorf("cluster: landing shuffle of %s: %w", rel.Name, err)
+	var landings []*landing
+	for d := 0; d < co.nshards; d++ {
+		for _, w := range co.replicasOf(d) {
+			if !okBy[d][w] || !co.health.live(w) {
+				okBy[d][w] = false
+				continue
+			}
+			l := &landing{d: d, w: w}
+			landings = append(landings, l)
+			wg.Add(1)
+			go func(l *landing) {
+				defer wg.Done()
+				_, l.err = co.insertRows(l.w, physName(sname, l.d), routed[l.d])
+			}(l)
 		}
 	}
-	return sname, nil
+	wg.Wait()
+	acked := make([]int, co.nshards)
+	var firstErr error
+	for _, l := range landings {
+		if l.err != nil {
+			if !transportFailure(l.err) && firstErr == nil {
+				firstErr = l.err
+			}
+			okBy[l.d][l.w] = false
+			continue
+		}
+		acked[l.d]++
+	}
+	if firstErr != nil {
+		return "", phys, fmt.Errorf("cluster: landing shuffle of %s: %w", rel.Name, firstErr)
+	}
+	for d, n := range acked {
+		if n == 0 {
+			return "", phys, fmt.Errorf("%w %d: no replica landed %s", ErrShardUnavailable, d, sname)
+		}
+	}
+	return sname, phys, nil
 }
 
-// gather runs the round-2 SQL on every worker concurrently — each
-// worker owns its own connection, so the streams are independent — and
-// concatenates in shard order, so the gathered row order is as
-// deterministic as the sequential version's. Results stream through
-// opts.Sink when the caller set one (the network server does) and
-// materialize otherwise; either way each shard's result is buffered
-// until its turn, bounding peak memory at one result set — the same
-// bound materialization already implies. Columns come from the
-// coordinator's own resolution, so empty results still carry the full
-// schema, exactly as a single-node engine reports it.
-func (co *Coordinator) gather(sql string, cols []string, opts engine.Options) (*engine.Result, error) {
+// scatterShard streams one shard's scatter from the first live replica
+// that can serve it, returning rows routed by destination. Rows buffer
+// per attempt: a mid-stream loss discards the partial buffer and the
+// next replica restarts the scatter from scratch.
+func (co *Coordinator) scatterShard(s int, q wire.ShardQuery) ([][][]value.Value, error) {
+	var lastErr error
+	for _, w := range co.replicasOf(s) {
+		if !co.health.live(w) {
+			continue
+		}
+		conn, err := co.getConn(w)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		local := make([][][]value.Value, co.nshards)
+		_, err = conn.Scatter(q, func(b wire.ShardBatch) error {
+			if int(b.Shard) >= len(local) {
+				return fmt.Errorf("cluster: worker %d sent shard %d of %d", w, b.Shard, len(local))
+			}
+			for _, row := range b.Batch.Rows {
+				local[b.Shard] = append(local[b.Shard], []value.Value(row))
+			}
+			return nil
+		})
+		if err == nil {
+			co.pools[w].Put(conn)
+			co.health.markSuccess(w)
+			return local, nil
+		}
+		if transportFailure(err) {
+			co.pools[w].Discard(conn)
+			co.health.markFailure(w)
+			lastErr = &WorkerLostError{Worker: w, Addr: co.pools[w].Addr(), Cause: err}
+			continue
+		}
+		co.pools[w].Put(conn)
+		if unknownRelation(err) {
+			// The replica is missing a physical table it must host: it
+			// restarted empty and needs a snapshot rejoin.
+			co.health.markDead(w)
+			lastErr = err
+			continue
+		}
+		return nil, err
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w %d", ErrShardUnavailable, s)
+}
+
+// gather runs each shard's round-2 SQL against one live replica,
+// concurrently across shards, failing over within a shard on transport
+// loss — each attempt buffers its rows, so a retried round never
+// double-counts. Results concatenate in shard order, keeping gathered
+// row order as deterministic as the sequential version's. Results
+// stream through opts.Sink when the caller set one (the network server
+// does) and materialize otherwise. Columns come from the coordinator's
+// own resolution, so empty results still carry the full schema.
+func (co *Coordinator) gather(sqls []string, cols []string, opts engine.Options, okBy [][]bool) (*engine.Result, error) {
 	sink := opts.Sink
 	batchRows := 64
 	if sink != nil {
@@ -515,46 +899,56 @@ func (co *Coordinator) gather(sql string, cols []string, opts engine.Options) (*
 		stats wire.Done
 		err   error
 	}
-	shards := make([]shard, len(co.conns))
+	shards := make([]shard, co.nshards)
 	var wg sync.WaitGroup
-	for i, conn := range co.conns {
+	for s := 0; s < co.nshards; s++ {
 		wg.Add(1)
-		go func(i int, conn *client.Conn) {
+		go func(s int) {
 			defer wg.Done()
-			s := &shards[i]
-			st, err := conn.Query(sql, copts)
-			if err != nil {
-				s.err = err
-				return
-			}
-			for st.Next() {
-				s.rows = append(s.rows, append(storage.Tuple(nil), st.Row()...))
-				if opts.MaxRows > 0 && int64(len(s.rows)) > opts.MaxRows {
-					// One shard already exceeds the global budget: stop
-					// pulling before a runaway result fills the heap.
-					st.Close()
-					s.err = qctx.ErrRowBudget
+			sh := &shards[s]
+			var lastErr error
+			tried := 0
+			for _, w := range co.replicasOf(s) {
+				if !co.health.live(w) || (okBy != nil && !okBy[s][w]) {
+					continue
+				}
+				tried++
+				rows, stats, err := co.shardRound(w, sqls[s], copts, opts.MaxRows)
+				if err == nil {
+					sh.rows, sh.stats = rows, stats
+					atomic.AddInt64(&co.perWorker[w], 1)
 					return
 				}
-			}
-			if err := st.Close(); err != nil {
-				s.err = err
+				if transportFailure(err) {
+					lastErr = err
+					continue
+				}
+				if unknownRelation(err) {
+					co.health.markDead(w)
+					lastErr = err
+					continue
+				}
+				sh.err = err // typed and deterministic: propagate, no failover
 				return
 			}
-			s.stats = st.Stats()
-		}(i, conn)
+			switch {
+			case lastErr != nil:
+				sh.err = lastErr
+			case tried == 0:
+				sh.err = fmt.Errorf("%w %d", ErrShardUnavailable, s)
+			}
+		}(s)
 	}
 	wg.Wait()
 
 	var pending []storage.Tuple
 	var total int64
-	for i := range shards {
-		s := &shards[i]
-		if s.err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, s.err)
+	for s := range shards {
+		sh := &shards[s]
+		if sh.err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, sh.err)
 		}
-		co.stats.perWorker[i]++
-		for _, row := range s.rows {
+		for _, row := range sh.rows {
 			total++
 			if opts.MaxRows > 0 && total > opts.MaxRows {
 				return nil, qctx.ErrRowBudget
@@ -571,9 +965,9 @@ func (co *Coordinator) gather(sql string, cols []string, opts engine.Options) (*
 				res.Rows = append(res.Rows, row)
 			}
 		}
-		res.Stats.Reads += s.stats.Reads
-		res.Stats.Writes += s.stats.Writes
-		res.FellBack = res.FellBack || s.stats.FellBack
+		res.Stats.Reads += sh.stats.Reads
+		res.Stats.Writes += sh.stats.Writes
+		res.FellBack = res.FellBack || sh.stats.FellBack
 	}
 	if sink != nil && len(pending) > 0 {
 		if err := sink.Batch(pending); err != nil {
@@ -581,6 +975,51 @@ func (co *Coordinator) gather(sql string, cols []string, opts engine.Options) (*
 		}
 	}
 	return res, nil
+}
+
+// shardRound runs one shard's round-2 query on one worker, buffering
+// the rows (the failover fence: nothing merges until the round
+// succeeds whole).
+func (co *Coordinator) shardRound(w int, sql string, copts client.Options, maxRows int64) ([]storage.Tuple, wire.Done, error) {
+	var zero wire.Done
+	conn, err := co.getConn(w)
+	if err != nil {
+		return nil, zero, err
+	}
+	st, err := conn.Query(sql, copts)
+	if err != nil {
+		if transportFailure(err) {
+			co.pools[w].Discard(conn)
+			co.health.markFailure(w)
+			return nil, zero, &WorkerLostError{Worker: w, Addr: co.pools[w].Addr(), Cause: err}
+		}
+		co.pools[w].Put(conn)
+		return nil, zero, err
+	}
+	var rows []storage.Tuple
+	for st.Next() {
+		rows = append(rows, append(storage.Tuple(nil), st.Row()...))
+		if maxRows > 0 && int64(len(rows)) > maxRows {
+			// One shard already exceeds the global budget: stop pulling
+			// before a runaway result fills the heap.
+			st.Close()
+			co.pools[w].Discard(conn)
+			return nil, zero, qctx.ErrRowBudget
+		}
+	}
+	if err := st.Close(); err != nil {
+		if transportFailure(err) {
+			co.pools[w].Discard(conn)
+			co.health.markFailure(w)
+			return nil, zero, &WorkerLostError{Worker: w, Addr: co.pools[w].Addr(), Cause: err}
+		}
+		co.pools[w].Put(conn)
+		return nil, zero, err
+	}
+	stats := st.Stats()
+	co.pools[w].Put(conn)
+	co.health.markSuccess(w)
+	return rows, stats, nil
 }
 
 // wireStrategy maps the engine strategy the session resolved into the
@@ -600,9 +1039,10 @@ func wireStrategy(s engine.Strategy) byte {
 	}
 }
 
-// renderCreate turns a schema.Relation back into CREATE TABLE SQL for
-// broadcast to the workers.
-func renderCreate(rel *schema.Relation) string {
+// RenderCreate turns a schema.Relation back into CREATE TABLE SQL —
+// broadcast to workers on DDL, and shipped as SnapshotMeta when a
+// rejoining worker rebuilds a slice.
+func RenderCreate(rel *schema.Relation) string {
 	var b strings.Builder
 	b.WriteString("CREATE TABLE ")
 	b.WriteString(rel.Name)

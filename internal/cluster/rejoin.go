@@ -1,0 +1,165 @@
+package cluster
+
+// Worker rejoin and the health prober. A dead worker (crashed,
+// restarted empty, or partitioned past the breaker) re-enters the
+// routing table only after catching up: for every shard slice it hosts,
+// a live replica ships a full snapshot — schema first, then rows — and
+// the coordinator rebuilds the slice on the returning worker before
+// flipping it healthy. The prober drives this automatically: suspect
+// workers are probe-dialed back to healthy, dead workers get a rejoin
+// attempt each tick.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Rejoin rebuilds every shard slice worker w hosts from live replicas
+// and returns it to the routing table. The worker must be dead; errors
+// leave it dead for the next probe to retry. Runs under the write lock,
+// so no statement observes a half-rebuilt worker.
+func (co *Coordinator) Rejoin(w int) error {
+	if !co.health.beginRejoin(w) {
+		return fmt.Errorf("cluster: worker %d is %s, not dead", w, co.health.state(w))
+	}
+	co.mu.Lock()
+	err := co.rejoinLocked(w)
+	co.mu.Unlock()
+	co.health.finishRejoin(w, err == nil)
+	return err
+}
+
+func (co *Coordinator) rejoinLocked(w int) error {
+	for _, name := range co.cat.Names() {
+		rel, ok := co.cat.Lookup(name)
+		if !ok {
+			continue
+		}
+		for _, s := range co.hostedShards(w) {
+			src := -1
+			for _, r := range co.replicasOf(s) {
+				if r != w && co.health.live(r) {
+					src = r
+					break
+				}
+			}
+			if src < 0 {
+				return fmt.Errorf("cluster: rejoin of worker %d: %w %d", w, ErrShardUnavailable, s)
+			}
+			srel := &schema.Relation{Name: physName(rel.Name, s), Columns: rel.Columns, Key: rel.Key}
+			if err := co.shipSnapshot(src, w, srel); err != nil {
+				return fmt.Errorf("cluster: rejoin of worker %d: %s: %w", w, srel.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// shipSnapshot rebuilds one physical table on dst from src's copy: drop
+// any stale remnant, recreate from the coordinator's schema, stream the
+// snapshot across in InsertBatch-sized chunks, and verify src's shipped
+// schema matches — a mismatch means the replicas diverged structurally
+// and the rejoin must not paper over it.
+func (co *Coordinator) shipSnapshot(src, dst int, srel *schema.Relation) error {
+	create := RenderCreate(srel)
+	if err := co.dropIgnoreMissing(dst, srel.Name); err != nil {
+		return err
+	}
+	if _, err := co.collect(dst, create); err != nil {
+		return err
+	}
+	sconn, err := co.getConn(src)
+	if err != nil {
+		return err
+	}
+	var chunk [][]value.Value
+	batch := co.cfg.insertBatch()
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		_, err := co.insertRows(dst, srel.Name, chunk)
+		chunk = chunk[:0]
+		return err
+	}
+	meta, _, err := sconn.Snapshot(srel.Name, func(b wire.RowBatch) error {
+		for _, row := range b.Rows {
+			chunk = append(chunk, append([]value.Value(nil), row...))
+		}
+		if len(chunk) >= batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if transportFailure(err) {
+			co.pools[src].Discard(sconn)
+			co.health.markFailure(src)
+			return &WorkerLostError{Worker: src, Addr: co.pools[src].Addr(), Cause: err}
+		}
+		co.pools[src].Put(sconn)
+		return err
+	}
+	co.pools[src].Put(sconn)
+	co.health.markSuccess(src)
+	if err := flush(); err != nil {
+		return err
+	}
+	if meta.CreateSQL != create {
+		return fmt.Errorf("cluster: snapshot schema diverged: worker %d has %q, catalog says %q",
+			src, meta.CreateSQL, create)
+	}
+	return nil
+}
+
+// probeLoop is the background health prober.
+func (co *Coordinator) probeLoop(interval time.Duration) {
+	defer co.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+		}
+		for w := range co.pools {
+			switch co.health.state(w) {
+			case workerSuspect:
+				co.probeWorker(w)
+			case workerDead:
+				if co.probeWorker(w) {
+					// Reachable again: rebuild it. Errors leave it dead;
+					// the next tick retries.
+					co.Rejoin(w)
+				}
+			}
+		}
+	}
+}
+
+// probeWorker checks reachability with a trivial statement. A healthy
+// exchange heals a suspect worker (collect marks success); for a dead
+// worker it only reports reachability — rejoin decides the rest.
+func (co *Coordinator) probeWorker(w int) bool {
+	conn, err := co.getConn(w)
+	if err != nil {
+		return false
+	}
+	// An idle pooled conn can be stale; a real round-trip proves the
+	// worker serves. DROP of a name in the reserved namespace that can
+	// never exist answers fast and touches nothing.
+	_, err = conn.Collect("DROP TABLE PROBE__S0", client.Options{Timeout: co.cfg.IOTimeout})
+	if err != nil && !unknownRelation(err) {
+		co.pools[w].Discard(conn)
+		return false
+	}
+	co.pools[w].Put(conn)
+	co.health.markSuccess(w)
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -140,6 +141,22 @@ func (s *session) serve() {
 					return
 				}
 				if !s.runShardQuery(q) {
+					return
+				}
+			case wire.FrameSnapshot:
+				if !s.cluster {
+					s.sendError(wire.ErrorFrame{
+						Code:    wire.CodeProtocol,
+						Message: "snapshot without negotiated cluster feature",
+					})
+					return
+				}
+				sn, err := wire.DecodeSnapshot(f.payload)
+				if err != nil {
+					s.sendError(wire.ErrorFrame{Code: wire.CodeProtocol, Message: err.Error()})
+					return
+				}
+				if !s.runSnapshot(sn.Table) {
 					return
 				}
 			default:
@@ -405,6 +422,66 @@ func (s *session) runShardQuery(q wire.ShardQuery) bool {
 
 	done := wire.ShardDone{Reads: res.Stats.Reads, Writes: res.Stats.Writes, PerShard: perShard}
 	if err := s.writeFrame(wire.FrameShardDone, wire.EncodeShardDone(done)); err != nil {
+		return false
+	}
+	return s.flush() == nil
+}
+
+// runSnapshot streams one physical table to a coordinator rebuilding a
+// rejoining replica: the table's schema first (SnapshotMeta, so the
+// receiver can verify the replicas agree structurally), then every row
+// as RowBatch frames, then Done. A missing table answers with the
+// engine's "unknown relation" phrasing — to the coordinator that means
+// this worker lost state and must itself be rebuilt, not skipped.
+func (s *session) runSnapshot(table string) bool {
+	rel, ok := s.srv.eng.Catalog().Lookup(table)
+	if !ok {
+		return s.sendError(wire.ErrorFrame{
+			Code:    wire.CodeInternal,
+			Message: fmt.Sprintf("engine: unknown relation %s", table),
+		})
+	}
+	meta := wire.SnapshotMeta{CreateSQL: cluster.RenderCreate(rel)}
+	if err := s.writeFrame(wire.FrameSnapshotMeta, wire.EncodeSnapshotMeta(meta)); err != nil {
+		return false
+	}
+
+	cols := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
+		cols[i] = c.Name
+	}
+	var (
+		sent     int64
+		batchErr error
+	)
+	opts := engine.Options{
+		Cancel:   s.dead,
+		Strategy: s.srv.cfg.Strategy,
+		Timeout:  s.srv.cfg.MaxTimeout,
+		Sink: &engine.RowSink{
+			BatchRows: s.srv.cfg.BatchRows,
+			Batch: func(rows []storage.Tuple) error {
+				if err := s.writeRowBatch(cols, rows); err != nil {
+					batchErr = err
+					return &writeError{err}
+				}
+				sent += int64(len(rows))
+				return nil
+			},
+		},
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ", "), rel.Name)
+	if _, err := s.srv.eng.ExecSQL(sql, opts); err != nil {
+		if batchErr != nil {
+			var ne net.Error
+			if errors.As(batchErr, &ne) && ne.Timeout() {
+				s.evictSlowClient()
+			}
+			return false
+		}
+		return s.sendError(wire.ErrorFrameFor(err))
+	}
+	if err := s.writeFrame(wire.FrameDone, wire.EncodeDone(wire.Done{Rows: sent})); err != nil {
 		return false
 	}
 	return s.flush() == nil

@@ -31,6 +31,13 @@ const (
 	// FrameShardDone ends a successful shard stream with per-partition
 	// row counts.
 	FrameShardDone byte = 0x0A
+	// FrameSnapshot asks a worker to ship a full copy of one table: a
+	// FrameSnapshotMeta (the table's CREATE statement), RowBatch frames,
+	// then FrameDone. Rejoining workers rebuild lost shards from it.
+	FrameSnapshot byte = 0x0B
+	// FrameSnapshotMeta opens a snapshot stream with the schema needed
+	// to recreate the table on the receiving side.
+	FrameSnapshotMeta byte = 0x0C
 )
 
 // FeatureCluster is the Hello feature bit for the shard frames. A server
@@ -131,6 +138,50 @@ func DecodeShardBatch(p []byte) (ShardBatch, error) {
 		return b, err
 	}
 	return b, nil
+}
+
+// maxSnapshotName bounds the table name a snapshot decoder will believe.
+const maxSnapshotName = 1 << 10
+
+// Snapshot asks a worker for a full copy of one physical table.
+type Snapshot struct {
+	Table string
+}
+
+// EncodeSnapshot builds a Snapshot payload.
+func EncodeSnapshot(s Snapshot) []byte {
+	return []byte(s.Table)
+}
+
+// DecodeSnapshot parses a Snapshot payload.
+func DecodeSnapshot(p []byte) (Snapshot, error) {
+	if len(p) == 0 {
+		return Snapshot{}, fmt.Errorf("wire: snapshot without a table name")
+	}
+	if len(p) > maxSnapshotName {
+		return Snapshot{}, fmt.Errorf("wire: snapshot table name %d bytes exceeds limit", len(p))
+	}
+	return Snapshot{Table: string(p)}, nil
+}
+
+// SnapshotMeta opens a snapshot stream: the CREATE TABLE statement that
+// rebuilds the table's schema on the receiving side. Rows follow as
+// ordinary RowBatch frames, terminated by FrameDone.
+type SnapshotMeta struct {
+	CreateSQL string
+}
+
+// EncodeSnapshotMeta builds a SnapshotMeta payload.
+func EncodeSnapshotMeta(m SnapshotMeta) []byte {
+	return []byte(m.CreateSQL)
+}
+
+// DecodeSnapshotMeta parses a SnapshotMeta payload.
+func DecodeSnapshotMeta(p []byte) (SnapshotMeta, error) {
+	if len(p) == 0 {
+		return SnapshotMeta{}, fmt.Errorf("wire: snapshot meta without a schema")
+	}
+	return SnapshotMeta{CreateSQL: string(p)}, nil
 }
 
 // ShardDone ends a successful shard stream. PerShard holds the number of

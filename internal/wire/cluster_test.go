@@ -88,6 +88,29 @@ func TestShardDoneRoundtrip(t *testing.T) {
 	}
 }
 
+func TestSnapshotRoundtrip(t *testing.T) {
+	s, err := DecodeSnapshot(EncodeSnapshot(Snapshot{Table: "SP__S2"}))
+	if err != nil || s.Table != "SP__S2" {
+		t.Fatalf("roundtrip: %+v, %v", s, err)
+	}
+	m, err := DecodeSnapshotMeta(EncodeSnapshotMeta(SnapshotMeta{CreateSQL: "CREATE TABLE SP__S2 (SNO INTEGER)"}))
+	if err != nil || m.CreateSQL != "CREATE TABLE SP__S2 (SNO INTEGER)" {
+		t.Fatalf("meta roundtrip: %+v, %v", m, err)
+	}
+}
+
+func TestSnapshotDecodeRejects(t *testing.T) {
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Fatal("decode accepted an empty snapshot request")
+	}
+	if _, err := DecodeSnapshot(make([]byte, maxSnapshotName+1)); err == nil {
+		t.Fatal("decode accepted an oversized table name")
+	}
+	if _, err := DecodeSnapshotMeta(nil); err == nil {
+		t.Fatal("decode accepted an empty snapshot meta")
+	}
+}
+
 func TestShardDoneDecodeRejects(t *testing.T) {
 	neg := EncodeShardDone(ShardDone{PerShard: []int64{-1}})
 	if _, err := DecodeShardDone(neg); err == nil {

@@ -59,6 +59,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frame(FrameShardDone, EncodeShardDone(ShardDone{Reads: 9, PerShard: []int64{4, 0, 5}})))
 	f.Add(cframe(FrameShardQuery, EncodeShardQuery(ShardQuery{NumShards: 1, SQL: "SELECT SNO FROM S"})))
 	f.Add(cframe(FrameShardDone, EncodeShardDone(ShardDone{PerShard: []int64{1}})))
+	// Replication extensions: snapshot shipping for worker rejoin.
+	f.Add(frame(FrameSnapshot, EncodeSnapshot(Snapshot{Table: "SP__S1"})))
+	f.Add(frame(FrameSnapshotMeta, EncodeSnapshotMeta(SnapshotMeta{CreateSQL: "CREATE TABLE SP__S1 (SNO INTEGER)"})))
+	f.Add(cframe(FrameSnapshot, EncodeSnapshot(Snapshot{Table: "S__S0"})))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		// The checksummed reader must be as panic-proof as the plain one,
@@ -135,6 +139,18 @@ func FuzzDecodeFrame(f *testing.F) {
 				if err != nil || d2.Reads != d.Reads || d2.Writes != d.Writes ||
 					len(d2.PerShard) != len(d.PerShard) {
 					t.Fatalf("shard done not stable: %+v vs %+v (%v)", d2, d, err)
+				}
+			}
+		case FrameSnapshot:
+			if s, err := DecodeSnapshot(payload); err == nil {
+				if s2, err := DecodeSnapshot(EncodeSnapshot(s)); err != nil || s2 != s {
+					t.Fatalf("snapshot not stable: %+v vs %+v (%v)", s2, s, err)
+				}
+			}
+		case FrameSnapshotMeta:
+			if m, err := DecodeSnapshotMeta(payload); err == nil {
+				if m2, err := DecodeSnapshotMeta(EncodeSnapshotMeta(m)); err != nil || m2 != m {
+					t.Fatalf("snapshot meta not stable: %+v vs %+v (%v)", m2, m, err)
 				}
 			}
 		case FramePing, FramePong:

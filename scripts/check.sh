@@ -87,6 +87,16 @@ go test -race -count=1 -run TestNetChaosStorm ./internal/server
 echo "==> go test -race -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster"
 go test -race -count=1 -run 'TestDistributedNestJA2|TestClusterChaosStorm' ./internal/cluster
 
+# Failover gate: the deterministic replica-failover drill (dead worker,
+# rerouted queries, DML on the survivor, snapshot rejoin), the fast
+# ErrWorkerLost surface check, the replication-aware Analyze refusal
+# table, and the failover storm — a -race worker SIGKILLed and
+# restarted empty under concurrent DML + queries. Every acked row must
+# be present exactly once after the fleet heals. The same gate is
+# `make cluster-failover`.
+echo "==> FAILOVER_STORM_SHORT=1 go test -race -short -run 'TestClusterFailover|TestWorkerLostFastFailure|TestClusterAnalyzeRefusals' ./internal/cluster"
+FAILOVER_STORM_SHORT=1 go test -race -short -count=1 -run 'TestClusterFailover|TestWorkerLostFastFailure|TestClusterAnalyzeRefusals' ./internal/cluster
+
 # End-to-end serving smoke: nestedsqld + the Go client + the load
 # harness, including graceful SIGTERM with in-flight streams and a
 # client killed mid-stream.
