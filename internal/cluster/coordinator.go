@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -87,6 +90,7 @@ type Coordinator struct {
 	place map[string]string // UPPER(table) -> UPPER(partition column)
 
 	qid       atomic.Uint64 // staging-name counter
+	runToken  string        // per-run nonce in staging names
 	perWorker []int64       // round-2 gathers served, atomic
 
 	staging struct {
@@ -118,6 +122,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cat:       schema.NewCatalog(),
 		place:     make(map[string]string),
 		health:    newHealthTracker(len(cfg.Workers)),
+		runToken:  newRunToken(),
 		perWorker: make([]int64, len(cfg.Workers)),
 		stop:      make(chan struct{}),
 	}
@@ -184,6 +189,16 @@ func (co *Coordinator) GatherCounts() []int64 {
 // so physical names can never collide with user tables.
 func physName(table string, shard int) string {
 	return fmt.Sprintf("%s__S%d", table, shard)
+}
+
+// newRunToken returns an identifier-safe nonce distinguishing this
+// coordinator incarnation's staging tables from any prior run's.
+func newRunToken() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+	}
+	return strings.ToUpper(hex.EncodeToString(b[:]))
 }
 
 // replicasOf lists the workers hosting shard s: the primary s and the
@@ -698,7 +713,11 @@ func (co *Coordinator) shuffle(table, keyCol string, opts engine.Options, okBy [
 	if kidx < 0 {
 		return "", nil, fmt.Errorf("cluster: relation %s has no column %s", rel.Name, keyCol)
 	}
-	sname := fmt.Sprintf("%s__X%d", rel.Name, co.qid.Add(1))
+	// The run token keeps staging names from a previous coordinator
+	// incarnation out of play: staging DDL is durable on the workers and
+	// cleanup is best-effort, so a counter alone — restarting at 1 —
+	// would collide with a remnant leaked by a crashed run.
+	sname := fmt.Sprintf("%s__X%s_%d", rel.Name, co.runToken, co.qid.Add(1))
 
 	// Create the staging slices. A replica that cannot take its slice is
 	// excluded from this query's round-2 candidates for that shard, not
@@ -941,18 +960,25 @@ func (co *Coordinator) gather(sqls []string, cols []string, opts engine.Options,
 	}
 	wg.Wait()
 
-	var pending []storage.Tuple
+	// Settle every shard before emitting anything: all results are fully
+	// buffered at this point, so a failed shard (or a blown row budget)
+	// can surface as one clean typed error instead of partial rows
+	// already flushed to the client followed by an error frame.
 	var total int64
 	for s := range shards {
-		sh := &shards[s]
-		if sh.err != nil {
-			return nil, fmt.Errorf("cluster: shard %d: %w", s, sh.err)
+		if shards[s].err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, shards[s].err)
 		}
+		total += int64(len(shards[s].rows))
+	}
+	if opts.MaxRows > 0 && total > opts.MaxRows {
+		return nil, qctx.ErrRowBudget
+	}
+
+	var pending []storage.Tuple
+	for s := range shards {
+		sh := &shards[s]
 		for _, row := range sh.rows {
-			total++
-			if opts.MaxRows > 0 && total > opts.MaxRows {
-				return nil, qctx.ErrRowBudget
-			}
 			if sink != nil {
 				pending = append(pending, row)
 				if len(pending) >= batchRows {

@@ -251,6 +251,80 @@ func TestWorkerLostFastFailure(t *testing.T) {
 	}
 }
 
+// TestProbeLeavesUserTablesAlone: the prober's reachability statement
+// must name a table that can never exist. A user table literally named
+// PROBE is legal, and its shard-0 physical slice is PROBE__S0 — a probe
+// that dropped that name would silently destroy live replica data
+// (unrecoverably at R=1). The prober runs manually (ProbeInterval -1,
+// Probe) so the suspect → probe → healthy path is deterministic.
+func TestProbeLeavesUserTablesAlone(t *testing.T) {
+	addrs, dbs := startWorkers(t, 2, false)
+	var proxies []*netfault.Proxy
+	proxyAddrs := make([]string, len(addrs))
+	for i, addr := range addrs {
+		p, err := netfault.New(addr, netfault.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		proxies = append(proxies, p)
+		proxyAddrs[i] = p.Addr()
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:       proxyAddrs,
+		Replicas:      2,
+		DialTimeout:   time.Second,
+		IOTimeout:     2 * time.Second,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	fixture := `CREATE TABLE PROBE (K INTEGER, NOTE TEXT, PRIMARY KEY (K));
+INSERT INTO PROBE VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd'), (5, 'e'), (6, 'f'), (7, 'g'), (8, 'h');`
+	if _, err := co.ExecSQL(fixture, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"K", "NOTE"}
+	baseline, ok := engineTable(t, dbs[0], "PROBE__S0", cols)
+	if !ok {
+		t.Fatal("fixture: worker 0 does not hold PROBE__S0")
+	}
+
+	// One transport failure makes worker 0 suspect; the query itself
+	// fails over to the other replica and succeeds.
+	killProxy(proxies[0])
+	if _, err := co.ExecSQL("SELECT PROBE.K, PROBE.NOTE FROM PROBE", engine.Options{}); err != nil {
+		t.Fatalf("query should have failed over: %v", err)
+	}
+	if s := co.WorkerStates()[0]; s != "suspect" {
+		t.Fatalf("worker 0 is %s after one transport failure, want suspect", s)
+	}
+	healProxy(proxies[0])
+	if !co.Probe(0) {
+		t.Fatal("probe of the healed worker failed")
+	}
+	if s := co.WorkerStates()[0]; s != "healthy" {
+		t.Fatalf("worker 0 is %s after a clean probe, want healthy", s)
+	}
+
+	after, ok := engineTable(t, dbs[0], "PROBE__S0", cols)
+	if !ok {
+		t.Fatal("the health probe dropped user table slice PROBE__S0")
+	}
+	if !bytes.Equal(baseline, after) {
+		t.Fatal("PROBE__S0 changed across a health probe")
+	}
+	res, err := co.ExecSQL("SELECT PROBE.K, PROBE.NOTE FROM PROBE", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("PROBE has %d rows after the probe, want 8", len(res.Rows))
+	}
+}
+
 // TestClusterAnalyzeRefusals (table-driven, under replication): every
 // unsound shape must be refused with a typed ErrNotDistributable whose
 // message names the reason — never silently answered wrong.

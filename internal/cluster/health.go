@@ -207,7 +207,16 @@ func transportFailure(err error) bool {
 		return true
 	}
 	var ne net.Error
-	return errors.As(err, &ne)
+	if errors.As(err, &ne) {
+		// A deadline tripping on an established exchange means the worker
+		// is slow, not gone — breaker evidence is link death only. Real
+		// silent partitions still count: the client's frame-wait IOTimeout
+		// arrives wrapped in ErrConnectionLost (matched above), and dial
+		// timeouts to an unreachable worker are counted by getConn without
+		// consulting this classifier.
+		return !ne.Timeout()
+	}
+	return false
 }
 
 // unknownRelation reports a typed "unknown relation" answer. Against a

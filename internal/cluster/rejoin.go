@@ -29,8 +29,12 @@ func (co *Coordinator) Rejoin(w int) error {
 	}
 	co.mu.Lock()
 	err := co.rejoinLocked(w)
-	co.mu.Unlock()
+	// Flip the worker healthy while still holding the write lock. If the
+	// lock were released first, a DML could run in the gap, see the
+	// worker still rejoining and skip it — and the freshly "caught-up"
+	// worker would silently miss a committed write.
 	co.health.finishRejoin(w, err == nil)
+	co.mu.Unlock()
 	return err
 }
 
@@ -129,18 +133,28 @@ func (co *Coordinator) probeLoop(interval time.Duration) {
 		case <-t.C:
 		}
 		for w := range co.pools {
-			switch co.health.state(w) {
-			case workerSuspect:
-				co.probeWorker(w)
-			case workerDead:
-				if co.probeWorker(w) {
-					// Reachable again: rebuild it. Errors leave it dead;
-					// the next tick retries.
-					co.Rejoin(w)
-				}
-			}
+			co.Probe(w)
 		}
 	}
+}
+
+// Probe runs one immediate health probe of worker w, exactly as a
+// prober tick would: a suspect worker heals on a clean round-trip, a
+// reachable dead worker gets a rejoin attempt (errors leave it dead for
+// the next probe). It reports whether the worker is live afterwards.
+// Exported for harnesses and tests that need deterministic probe timing
+// instead of the background ticker.
+func (co *Coordinator) Probe(w int) bool {
+	switch co.health.state(w) {
+	case workerSuspect:
+		return co.probeWorker(w)
+	case workerDead:
+		if co.probeWorker(w) {
+			return co.Rejoin(w) == nil
+		}
+		return false
+	}
+	return co.health.live(w)
 }
 
 // probeWorker checks reachability with a trivial statement. A healthy
@@ -152,9 +166,13 @@ func (co *Coordinator) probeWorker(w int) bool {
 		return false
 	}
 	// An idle pooled conn can be stale; a real round-trip proves the
-	// worker serves. DROP of a name in the reserved namespace that can
-	// never exist answers fast and touches nothing.
-	_, err = conn.Collect("DROP TABLE PROBE__S0", client.Options{Timeout: co.cfg.IOTimeout})
+	// worker serves. The probed name's logical part (__PROBE__) lies
+	// inside the reserved __ namespace, so no CREATE can ever make it
+	// exist — neither as a user table nor as any table's shard slice —
+	// and the DROP answers fast and touches nothing. (A bare PROBE__S0
+	// would NOT be safe: user table PROBE is legal, and its shard-0
+	// slice is exactly that name.)
+	_, err = conn.Collect("DROP TABLE __PROBE____S0", client.Options{Timeout: co.cfg.IOTimeout})
 	if err != nil && !unknownRelation(err) {
 		co.pools[w].Discard(conn)
 		return false
